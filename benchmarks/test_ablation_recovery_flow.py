@@ -1,0 +1,73 @@
+"""Ablation: the extended recovery-flow bug model (Section III.C).
+
+Suppressing recovery/checkpoint-flow signals (RHT walk pointers and
+writes, RAT/ROB/RHT recovery, CKPT capture) causes *multiple* simultaneous
+duplications/leakages. Detection may legitimately wait until the corrupted
+state flows through the tracked arrays -- a stale RHT entry is invisible
+until a walk reads it -- so this bench measures how IDLD's latency
+degrades from "same cycle" to "next recovery flow" for these bugs, and
+what fraction of them only wedge or corrupt the machine much later.
+"""
+
+import random
+
+from repro.bugs.campaign import run_golden, run_injection
+from repro.bugs.injector import draw_spec
+from repro.bugs.models import BugModel
+from repro.core.config import CoreConfig
+
+from conftest import emit
+
+TRIALS = 20
+
+
+def test_ablation_recovery_flow_model(benchmark, figure_suite):
+    program = figure_suite["dijkstra"]  # flush-heavy: recovery flows abound
+    golden = run_golden(program)
+    config = CoreConfig()
+    rng = random.Random(7)
+
+    def one_injection():
+        spec = draw_spec(BugModel.RECOVERY_FLOW, rng, golden.cycles, config)
+        return run_injection(program, golden, spec)
+
+    benchmark(one_injection)
+
+    rng = random.Random(42)
+    records = []
+    for _ in range(TRIALS):
+        spec = draw_spec(BugModel.RECOVERY_FLOW, rng, golden.cycles, config)
+        records.append(run_injection(program, golden, spec))
+
+    fired = [r for r in records if r.activated]
+    detected = [r for r in fired if r.idld_detected]
+    latencies = [r.idld_latency for r in detected]
+
+    emit([
+        "Ablation -- recovery-flow bug model (extended Table I signals)",
+        f"  injections fired:  {len(fired)}/{len(records)}",
+        f"  IDLD detected:     {len(detected)}/{len(fired)}",
+        f"  latency min/max:   "
+        f"{min(latencies) if latencies else '-'} / "
+        f"{max(latencies) if latencies else '-'} cycles",
+        f"  masked outcomes:   {sum(1 for r in fired if r.masked)}",
+    ])
+
+    assert len(fired) >= TRIALS // 2
+    # Recovery-flow bugs perturb many PdstIDs at once; IDLD catches the
+    # majority at a flow boundary. The remainder are either vacuous
+    # activations (a stale RHT entry no later walk reads perturbs nothing)
+    # or pure sequencing wedges (a suppressed ROB tail restore hangs
+    # commit without ever violating the PdstID-flow invariant) -- hangs
+    # are externally visible to any watchdog, so end-of-test catches them.
+    assert len(detected) / len(fired) >= 0.6
+    from repro.analysis.outcomes import OutcomeClass
+
+    for record in fired:
+        if not record.idld_detected:
+            assert record.masked or record.outcome is OutcomeClass.TIMEOUT, (
+                record.spec.describe(), record.outcome
+            )
+    # But unlike the primary models, some detections wait for the next
+    # recovery flow -- latency is no longer uniformly ~0.
+    assert latencies and max(latencies) >= 1

@@ -1,0 +1,51 @@
+"""Figure 8: outcome breakdown per benchmark, control-signal bug models.
+
+Paper shape: "the ramifications of control logic bugs vary arbitrarily
+depending on workload characteristics" -- every benchmark shows a
+different mix over the seven outcome classes, with SDC prominent and a
+masked (Benign/Performance/CFD) component everywhere.
+"""
+
+from repro.analysis.outcomes import OutcomeClass
+from repro.analysis.report import figure8_report
+from repro.bugs.models import BugModel
+
+from conftest import emit
+
+
+def test_figure8_breakdown(benchmark, figure_campaign):
+    benchmark(lambda: [
+        figure_campaign.outcome_breakdown(bench)
+        for bench in figure_campaign.benchmarks
+    ])
+
+    emit(figure8_report(figure_campaign))
+
+    totals = {outcome: 0 for outcome in OutcomeClass}
+    for bench in figure_campaign.benchmarks:
+        counts = figure_campaign.outcome_breakdown(bench)
+        for outcome, count in counts.items():
+            totals[outcome] += count
+
+    total_runs = sum(totals.values())
+    assert total_runs == len(
+        [r for r in figure_campaign.results
+         if r.spec.model in (BugModel.DUPLICATION, BugModel.LEAKAGE)]
+    )
+
+    # SDC is a major class for control-signal bugs.
+    assert totals[OutcomeClass.SDC] / total_runs > 0.15
+    # A masked component exists.
+    masked = sum(totals[o] for o in OutcomeClass if o.masked)
+    assert masked / total_runs > 0.1
+    # At least four distinct outcome classes appear across the suite.
+    assert sum(1 for count in totals.values() if count > 0) >= 4
+
+    # Benchmarks differ: the SDC share is not uniform across the suite.
+    sdc_shares = []
+    for bench in figure_campaign.benchmarks:
+        counts = figure_campaign.outcome_breakdown(bench)
+        n = sum(counts.values())
+        if n:
+            sdc_shares.append(counts[OutcomeClass.SDC] / n)
+    assert max(sdc_shares) - min(sdc_shares) > 0.2

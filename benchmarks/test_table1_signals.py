@@ -1,0 +1,63 @@
+"""Table I: the RRS control-signal inventory, derived from the live model.
+
+The bench prints the signal matrix exactly as the paper tabulates it and
+benchmarks the fabric consultation path (which sits on every array access
+of the simulator).
+"""
+
+from repro.core.rrs.signals import (
+    ArrayName,
+    SignalFabric,
+    SignalKind,
+    TABLE_I,
+)
+
+from conftest import emit
+
+COLUMNS = (
+    SignalKind.READ_ENABLE,
+    SignalKind.WRITE_ENABLE,
+    SignalKind.RECOVERY,
+    SignalKind.CHECKPOINT,
+)
+
+
+def render_table_i():
+    lines = [
+        "Table I -- RRS control signals",
+        f"{'':>6}" + "".join(f"{kind.value:>42}" for kind in COLUMNS),
+    ]
+    for array in ArrayName:
+        cells = []
+        for kind in COLUMNS:
+            cells.append(f"{TABLE_I.get((array, kind), '-'):>42}")
+        lines.append(f"{array.value:>6}" + "".join(cells))
+    return lines
+
+
+def test_table1_signal_matrix(benchmark):
+    fabric = SignalFabric()
+
+    def consult_all():
+        hits = 0
+        for pair in TABLE_I:
+            hits += fabric.asserted(*pair)
+        return hits
+
+    hits = benchmark(consult_all)
+    assert hits == len(TABLE_I) == 11
+
+    emit(render_table_i())
+
+    # The matrix matches the paper row-for-row.
+    fl = {k for a, k in TABLE_I if a is ArrayName.FL}
+    rob = {k for a, k in TABLE_I if a is ArrayName.ROB}
+    rht = {k for a, k in TABLE_I if a is ArrayName.RHT}
+    rat = {k for a, k in TABLE_I if a is ArrayName.RAT}
+    ckpt = {k for a, k in TABLE_I if a is ArrayName.CKPT}
+    assert fl == {SignalKind.READ_ENABLE, SignalKind.WRITE_ENABLE}
+    assert rob == rht == {
+        SignalKind.READ_ENABLE, SignalKind.WRITE_ENABLE, SignalKind.RECOVERY
+    }
+    assert rat == {SignalKind.WRITE_ENABLE, SignalKind.RECOVERY}
+    assert ckpt == {SignalKind.CHECKPOINT}

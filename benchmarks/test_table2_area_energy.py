@@ -1,0 +1,57 @@
+"""Table II: RRS area and energy, baseline vs IDLD, 1/2/4/6/8-wide.
+
+Paper shape: IDLD's area overhead is ~3% at 1-2-wide and 10-12.6% at
+4-8-wide (the folding trees get replicated/retimed between 2- and 4-wide);
+energy overhead sits in the 4-12% band; the whole-core contribution is
+~0.12% for a 2-way core. Absolute um^2/pJ come from a calibrated
+structural model, not a synthesis flow -- the bench asserts the relative
+numbers.
+"""
+
+from repro.rtl import (
+    PAPER_TABLE_II,
+    evaluate_width,
+    format_table_ii,
+    sweep_widths,
+    whole_core_overhead,
+)
+
+from conftest import emit
+
+WIDTHS = (1, 2, 4, 6, 8)
+
+
+def test_table2_area_energy(benchmark):
+    points = benchmark(sweep_widths)
+
+    lines = format_table_ii(points)
+    lines.append(
+        f"Whole-core (2-way): {whole_core_overhead(2):.2%} "
+        "(paper: ~0.12%)"
+    )
+    emit(lines)
+
+    by_width = {p.width: p for p in points}
+    assert set(by_width) == set(WIDTHS)
+
+    # Area overhead bands per width, matching Table II within ~3 points.
+    for width in (1, 2):
+        paper = PAPER_TABLE_II[width][2] / PAPER_TABLE_II[width][0] - 1
+        assert abs(by_width[width].area_overhead - paper) < 0.03
+    for width in (4, 6, 8):
+        paper = PAPER_TABLE_II[width][2] / PAPER_TABLE_II[width][0] - 1
+        assert abs(by_width[width].area_overhead - paper) < 0.04
+
+    # Energy overhead inside the paper's 4-12% band.
+    for width in WIDTHS:
+        assert 0.03 <= by_width[width].energy_overhead <= 0.13
+
+    # The crossover: overhead steps up between 2-wide and 4-wide.
+    assert by_width[4].area_overhead > 2.5 * by_width[2].area_overhead
+
+    # Baseline growth saturates toward 8-wide, like the paper's column.
+    base = [by_width[w].base_area_um2 for w in WIDTHS]
+    assert (base[1] - base[0]) > 2 * (base[4] - base[3])
+
+    # Whole-core estimate ~0.12%.
+    assert 0.0008 < whole_core_overhead(2) < 0.0016

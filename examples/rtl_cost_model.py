@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Reproduce Table II: area/energy of the RRS, baseline vs IDLD.
+
+Sweeps 1/2/4/6/8-wide renaming through the structural 45 nm cost model
+and prints the model's numbers next to the paper's overhead percentages,
+plus the Section VI.B whole-core estimate and a per-macro breakdown of
+where the IDLD area actually goes at 4-wide.
+"""
+
+from repro.rtl import baseline_rrs, idld_extension, table_ii_report
+
+
+def main() -> None:
+    print(table_ii_report())
+
+    print("\nIDLD extension breakdown at 4-wide (um^2, before placement):")
+    extension = idld_extension(4)
+    for name, area in sorted(
+        extension.breakdown().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:28s} {area:>9.0f}")
+
+    print("\nBaseline breakdown at 4-wide (top contributors):")
+    base = baseline_rrs(4)
+    for name, area in sorted(base.breakdown().items(), key=lambda kv: -kv[1])[:8]:
+        print(f"  {name:28s} {area:>9.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""IDLD reproduction: instantaneous detection of PdstID leakage/duplication.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.isa` -- mini ISA, assembler, reference interpreter.
+* :mod:`repro.core` -- cycle-level OoO core with the full RRS.
+* :mod:`repro.idld` -- the IDLD checker and baseline detectors.
+* :mod:`repro.bugs` -- bug models, injection, campaigns, classification.
+* :mod:`repro.workloads` -- MiBench-analog benchmark programs.
+* :mod:`repro.mdp` -- Store-Sets memory dependence predictor use case.
+* :mod:`repro.rtl` -- structural area/energy cost model (Table II).
+* :mod:`repro.analysis` -- outcome classes, buckets, report formatting.
+"""
+
+from repro.core import CoreConfig, OoOCore, RunResult, paper_rrs_config
+from repro.idld import BitVectorScheme, CounterScheme, IDLDChecker
+from repro.isa import Program, ProgramBuilder, assemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitVectorScheme",
+    "CoreConfig",
+    "CounterScheme",
+    "IDLDChecker",
+    "OoOCore",
+    "Program",
+    "ProgramBuilder",
+    "RunResult",
+    "assemble",
+    "paper_rrs_config",
+    "__version__",
+]

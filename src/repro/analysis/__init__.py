@@ -1,0 +1,16 @@
+"""Outcome classes, histogram buckets, reports, export and tracing."""
+
+from repro.analysis.export import to_csv, to_json, write_csv, write_json
+from repro.analysis.outcomes import OBSERVABLE, OutcomeClass
+from repro.analysis.trace import RRSTracer, TraceEvent
+
+__all__ = [
+    "OBSERVABLE",
+    "OutcomeClass",
+    "RRSTracer",
+    "TraceEvent",
+    "to_csv",
+    "to_json",
+    "write_csv",
+    "write_json",
+]

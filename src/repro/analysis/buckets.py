@@ -1,0 +1,54 @@
+"""Logarithmic latency buckets (Figure 5's x-axis).
+
+"For a clear demonstration of our findings, we group the manifestation
+times in eight buckets on a logarithmic scale."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Eight decade buckets; the last is open-ended.
+DEFAULT_EDGES: Tuple[int, ...] = (10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def bucket_labels(edges: Sequence[int] = DEFAULT_EDGES) -> List[str]:
+    """Human-readable labels, one per bucket."""
+    labels = [f"<{edges[0]:,}"]
+    for low, high in zip(edges, edges[1:]):
+        labels.append(f"{low:,}-{high:,}")
+    labels.append(f">={edges[-1]:,}")
+    return labels
+
+
+def bucket_index(value: int, edges: Sequence[int] = DEFAULT_EDGES) -> int:
+    """Bucket index of one latency value."""
+    for i, edge in enumerate(edges):
+        if value < edge:
+            return i
+    return len(edges)
+
+
+def histogram(
+    values: Iterable[int], edges: Sequence[int] = DEFAULT_EDGES
+) -> List[int]:
+    """Counts per bucket."""
+    counts = [0] * (len(edges) + 1)
+    for value in values:
+        counts[bucket_index(value, edges)] += 1
+    return counts
+
+
+def histogram_table(
+    series: Dict[str, Iterable[int]], edges: Sequence[int] = DEFAULT_EDGES
+) -> List[str]:
+    """Render multiple latency series against shared buckets (Figure 5)."""
+    labels = bucket_labels(edges)
+    rows = {name: histogram(values, edges) for name, values in series.items()}
+    width = max(len(label) for label in labels)
+    header = " ".join(f"{name:>12}" for name in rows)
+    lines = [f"{'bucket':>{width}} {header}"]
+    for i, label in enumerate(labels):
+        cells = " ".join(f"{counts[i]:>12}" for counts in rows.values())
+        lines.append(f"{label:>{width}} {cells}")
+    return lines

@@ -1,0 +1,100 @@
+"""Export campaign results to CSV / JSON for external analysis."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis <- bugs)
+    from repro.bugs.campaign import CampaignResult, InjectionResult
+
+#: Column order of the per-injection CSV.
+FIELDS = (
+    "benchmark",
+    "model",
+    "inject_cycle",
+    "activated",
+    "activation_cycle",
+    "outcome",
+    "masked",
+    "persists",
+    "manifestation_cycle",
+    "manifestation_latency",
+    "final_cycle",
+    "idld_cycle",
+    "idld_latency",
+    "bv_cycle",
+    "bv_latency",
+    "counter_cycle",
+    "eot_detected",
+)
+
+
+def injection_row(record: "InjectionResult") -> Dict[str, object]:
+    """Flatten one injection record into primitive columns."""
+    return {
+        "benchmark": record.benchmark,
+        "model": record.spec.model.value,
+        "inject_cycle": record.spec.inject_cycle,
+        "activated": record.activated,
+        "activation_cycle": record.activation_cycle,
+        "outcome": record.outcome.value,
+        "masked": record.masked,
+        "persists": record.persists,
+        "manifestation_cycle": record.manifestation_cycle,
+        "manifestation_latency": record.manifestation_latency,
+        "final_cycle": record.final_cycle,
+        "idld_cycle": record.idld_cycle,
+        "idld_latency": record.idld_latency,
+        "bv_cycle": record.bv_cycle,
+        "bv_latency": record.bv_latency,
+        "counter_cycle": record.counter_cycle,
+        "eot_detected": record.eot_detected,
+    }
+
+
+def to_csv(campaign: "CampaignResult") -> str:
+    """The full campaign as a CSV string (one row per injection)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for record in campaign.results:
+        writer.writerow(injection_row(record))
+    return buffer.getvalue()
+
+
+def to_json(campaign: "CampaignResult") -> str:
+    """The campaign plus its figure-level aggregates as JSON."""
+    from repro.bugs.models import PRIMARY_MODELS
+
+    payload = {
+        "injections": [injection_row(r) for r in campaign.results],
+        "aggregates": {
+            "coverage": campaign.coverage(),
+            "masked_fraction": {
+                model.value: campaign.masked_fraction(model=model)
+                for model in PRIMARY_MODELS
+            },
+            "persistence_fraction": campaign.persistence_fraction(),
+            "benchmarks": campaign.benchmarks,
+        },
+        "goldens": {
+            name: {"cycles": golden.cycles, "committed": golden.committed}
+            for name, golden in campaign.goldens.items()
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def write_csv(campaign: "CampaignResult", path: str) -> None:
+    """Write :func:`to_csv` output to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(campaign))
+
+
+def write_json(campaign: "CampaignResult", path: str) -> None:
+    """Write :func:`to_json` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_json(campaign))

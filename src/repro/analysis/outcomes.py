@@ -1,0 +1,67 @@
+"""Bug-effect outcome classes (Sections IV.A and VI.C).
+
+Masked classes (no effect on the program's output):
+
+* **Benign** -- output and commit trace identical to the bug-free run.
+* **Performance** -- same committed instructions, some at different cycles.
+* **Control Flow Deviation** -- a different instruction sequence committed,
+  yet the output is identical (short wrong-path excursions that re-converge).
+
+Observable classes:
+
+* **SDC** -- silent data corruption: execution finishes normally but the
+  output differs.
+* **Timeout** -- execution not finished within 2.5x the bug-free time
+  (deadlock/livelock included).
+* **Assert** -- the simulator hit a condition it cannot resolve.
+* **Crash** -- a catastrophic event (memory fault) interrupted execution.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OutcomeClass(enum.Enum):
+    """The seven bug-effect classes of the paper."""
+
+    BENIGN = "Benign"
+    PERFORMANCE = "Performance"
+    CONTROL_FLOW_DEVIATION = "Control Flow Deviation"
+    SDC = "SDC"
+    TIMEOUT = "Timeout"
+    ASSERT = "Assert"
+    CRASH = "Crash"
+
+    @property
+    def masked(self) -> bool:
+        """True for the unified Masked class of Section IV.B."""
+        return self in _MASKED
+
+    @property
+    def has_side_effect(self) -> bool:
+        """Masked but with a detectable side effect (Figure 5's red line)."""
+        return self in (
+            OutcomeClass.PERFORMANCE,
+            OutcomeClass.CONTROL_FLOW_DEVIATION,
+        )
+
+
+_MASKED = frozenset(
+    {
+        OutcomeClass.BENIGN,
+        OutcomeClass.PERFORMANCE,
+        OutcomeClass.CONTROL_FLOW_DEVIATION,
+    }
+)
+
+#: Outcomes the traditional end-of-test checking flow observes: anything
+#: that changes the final output or visibly aborts/overruns the test.
+OBSERVABLE = frozenset(
+    {
+        OutcomeClass.SDC,
+        OutcomeClass.TIMEOUT,
+        OutcomeClass.ASSERT,
+        OutcomeClass.CRASH,
+    }
+)

@@ -1,0 +1,117 @@
+"""RRS port-event tracing for root-cause analysis.
+
+The debugging story IDLD enables (Section I): once the checker pins the
+activation cycle, an engineer needs the microarchitectural context *at
+that cycle* -- not millions of cycles of history. :class:`RRSTracer` keeps
+a bounded ring of recent port events and renders the window around any
+cycle of interest, which is exactly the triage flow
+``examples/root_cause_latency.py`` motivates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.core.rrs.ports import RRSObserver
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded port event."""
+
+    cycle: int
+    kind: str
+    detail: str
+
+
+class RRSTracer(RRSObserver):
+    """Bounded ring buffer over the RRS port traffic.
+
+    Args:
+        capacity: Maximum retained events (oldest evicted first).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._cycle = 1
+
+    # -- recording ------------------------------------------------------------
+
+    def _record(self, kind: str, detail: str, cycle: Optional[int] = None) -> None:
+        self._events.append(
+            TraceEvent(self._cycle if cycle is None else cycle, kind, detail)
+        )
+
+    def power_on(self, num_physical, num_logical, initial_free, initial_rat):
+        self._events.clear()
+        self._cycle = 1
+        self._record("power_on", f"{num_physical} Pdsts, {num_logical} logical", 0)
+
+    def fl_read(self, pdst):
+        self._record("FL.pop", f"allocate p{pdst}")
+
+    def fl_write(self, pdst):
+        self._record("FL.push", f"reclaim p{pdst}")
+
+    def rat_write(self, ldst, old_pdst, new_pdst):
+        self._record("RAT.write", f"r{ldst}: p{old_pdst} -> p{new_pdst}")
+
+    def rat_write_zero_idiom(self, ldst, old_pdst):
+        self._record("RAT.zero", f"r{ldst}: p{old_pdst} -> Z (dup-marked)")
+
+    def rat_write_over_zero(self, ldst, new_pdst):
+        self._record("RAT.write", f"r{ldst}: Z -> p{new_pdst}")
+
+    def rob_pdst_write(self, pdst, seq):
+        self._record("ROB.write", f"seq {seq} holds evicted p{pdst}")
+
+    def rob_pdst_read(self, pdst, seq):
+        self._record("ROB.read", f"seq {seq} releases p{pdst}")
+
+    def recovery_begin(self, cycle):
+        self._record("RECOVERY", "begin", cycle)
+
+    def recovery_end(self, cycle):
+        self._record("RECOVERY", "end", cycle)
+
+    def checkpoint_content(self, slot, pos):
+        self._record("CKPT.take", f"slot {slot} @ seq {pos}")
+
+    def checkpoint_restored(self, slot):
+        self._record("CKPT.restore", f"slot {slot}")
+
+    def cycle_end(self, cycle):
+        self._cycle = cycle + 1
+
+    # -- rendering ----------------------------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        """All retained events, oldest first."""
+        return list(self._events)
+
+    def window(self, around_cycle: int, radius: int = 3) -> List[TraceEvent]:
+        """Events within ``radius`` cycles of ``around_cycle``."""
+        low, high = around_cycle - radius, around_cycle + radius
+        return [e for e in self._events if low <= e.cycle <= high]
+
+    def render(
+        self, around_cycle: Optional[int] = None, radius: int = 3
+    ) -> str:
+        """Human-readable dump (full buffer, or a window)."""
+        events = (
+            self.window(around_cycle, radius)
+            if around_cycle is not None
+            else self.events()
+        )
+        lines = []
+        last_cycle = None
+        for event in events:
+            stamp = f"{event.cycle:>7}" if event.cycle != last_cycle else " " * 7
+            lines.append(f"{stamp}  {event.kind:<12} {event.detail}")
+            last_cycle = event.cycle
+        return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Single-bug injection campaigns (the paper's Section IV methodology).
+
+One campaign = for each benchmark x bug model, N independent runs, each
+with exactly one bug activation at a random point of execution, classified
+against the benchmark's golden run, with every detector attached:
+
+* IDLD (the contribution),
+* the bit-vector (BV) scheme,
+* the counter scheme,
+* traditional end-of-test checking.
+
+The paper runs 3,000 injections per benchmark (30,000 total); campaign
+sizes here are parameters so the pytest benches run laptop-scale samples
+and the CLI harness can scale up (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.outcomes import OutcomeClass
+from repro.bugs.classify import Classification, classify_run, timeout_budget
+from repro.bugs.injector import arm, draw_spec
+from repro.bugs.models import BugModel, BugSpec, PRIMARY_MODELS
+from repro.core.config import CoreConfig
+from repro.core.cpu import OoOCore, RunResult
+from repro.core.errors import SimulationError
+from repro.core.rrs.signals import SignalFabric
+from repro.idld.bitvector import BitVectorScheme
+from repro.idld.checker import IDLDChecker
+from repro.idld.counter import CounterScheme
+from repro.idld.endoftest import end_of_test_check
+from repro.isa.program import Program
+
+
+@dataclass
+class InjectionResult:
+    """Everything recorded about one bug injection run."""
+
+    benchmark: str
+    spec: BugSpec
+    activated: bool
+    activation_cycle: Optional[int]
+    outcome: OutcomeClass
+    manifestation_cycle: Optional[int]
+    final_cycle: int
+    persists: Optional[bool]
+    idld_cycle: Optional[int]
+    bv_cycle: Optional[int]
+    counter_cycle: Optional[int]
+    eot_detected: bool
+
+    @property
+    def masked(self) -> bool:
+        return self.outcome.masked
+
+    @property
+    def idld_detected(self) -> bool:
+        return self.idld_cycle is not None
+
+    @property
+    def bv_detected(self) -> bool:
+        return self.bv_cycle is not None
+
+    @property
+    def counter_detected(self) -> bool:
+        return self.counter_cycle is not None
+
+    @property
+    def idld_latency(self) -> Optional[int]:
+        if self.idld_cycle is None or self.activation_cycle is None:
+            return None
+        return self.idld_cycle - self.activation_cycle
+
+    @property
+    def bv_latency(self) -> Optional[int]:
+        if self.bv_cycle is None or self.activation_cycle is None:
+            return None
+        return self.bv_cycle - self.activation_cycle
+
+    @property
+    def manifestation_latency(self) -> Optional[int]:
+        if self.manifestation_cycle is None or self.activation_cycle is None:
+            return None
+        return max(0, self.manifestation_cycle - self.activation_cycle)
+
+
+def run_golden(program: Program, config: Optional[CoreConfig] = None) -> RunResult:
+    """Bug-free reference run of a program."""
+    core = OoOCore(program, config=config)
+    result = core.run()
+    if not result.halted:
+        raise RuntimeError(f"golden run of {program.name} did not halt")
+    return result
+
+
+def run_injection(
+    program: Program,
+    golden: RunResult,
+    spec: BugSpec,
+    config: Optional[CoreConfig] = None,
+) -> InjectionResult:
+    """Execute one buggy run with all detectors attached and classify it."""
+    fabric = SignalFabric()
+    armed = arm(spec, fabric)
+    idld = IDLDChecker()
+    bv = BitVectorScheme()
+    counter = CounterScheme()
+    core = OoOCore(
+        program, config=config, observers=[idld, bv, counter], fabric=fabric
+    )
+    budget = timeout_budget(golden)
+    error: Optional[Exception] = None
+    try:
+        result = core.run(max_cycles=budget)
+    except SimulationError as exc:
+        error = exc
+        result = core.result()
+    classification = classify_run(program, golden, result, error)
+    persists: Optional[bool] = None
+    if error is None and result.halted:
+        persists = not core.census_is_clean()
+    eot = end_of_test_check(classification.outcome, result.cycles)
+    return InjectionResult(
+        benchmark=program.name,
+        spec=spec,
+        activated=armed.fired,
+        activation_cycle=armed.fired_cycle,
+        outcome=classification.outcome,
+        manifestation_cycle=classification.manifestation_cycle,
+        final_cycle=result.cycles,
+        persists=persists,
+        idld_cycle=idld.first_detection_cycle,
+        bv_cycle=bv.first_detection_cycle,
+        counter_cycle=counter.first_detection_cycle,
+        eot_detected=eot.detected,
+    )
+
+
+@dataclass
+class CampaignResult:
+    """All injection results of a campaign, with figure-level aggregations."""
+
+    results: List[InjectionResult] = field(default_factory=list)
+    goldens: Dict[str, RunResult] = field(default_factory=dict)
+
+    # -- generic filters -------------------------------------------------------
+
+    def of(
+        self,
+        benchmark: Optional[str] = None,
+        model: Optional[BugModel] = None,
+    ) -> List[InjectionResult]:
+        out = self.results
+        if benchmark is not None:
+            out = [r for r in out if r.benchmark == benchmark]
+        if model is not None:
+            out = [r for r in out if r.spec.model is model]
+        return out
+
+    @property
+    def benchmarks(self) -> List[str]:
+        seen: List[str] = []
+        for r in self.results:
+            if r.benchmark not in seen:
+                seen.append(r.benchmark)
+        return seen
+
+    # -- Figure 3: masked fraction per benchmark x model -----------------------------
+
+    def masked_fraction(
+        self, benchmark: Optional[str] = None, model: Optional[BugModel] = None
+    ) -> float:
+        rows = self.of(benchmark, model)
+        if not rows:
+            return 0.0
+        return sum(1 for r in rows if r.masked) / len(rows)
+
+    # -- Figure 4: persistence of masked bugs ------------------------------------------
+
+    def persistence_fraction(self, benchmark: Optional[str] = None) -> float:
+        masked = [r for r in self.of(benchmark) if r.masked]
+        if not masked:
+            return 0.0
+        return sum(1 for r in masked if r.persists) / len(masked)
+
+    # -- Figure 5: manifestation latencies ------------------------------------------------
+
+    def manifestation_latencies(self, masked_side_effects: bool) -> List[int]:
+        """Latencies for the non-masked (green) or side-effect-masked (red)
+        populations of Figure 5."""
+        out = []
+        for r in self.results:
+            if masked_side_effects:
+                if not r.outcome.has_side_effect:
+                    continue
+            elif r.masked:
+                continue
+            latency = r.manifestation_latency
+            if latency is not None:
+                out.append(latency)
+        return out
+
+    # -- Figure 8: outcome breakdown --------------------------------------------------------
+
+    def outcome_breakdown(
+        self,
+        benchmark: Optional[str] = None,
+        models: Sequence[BugModel] = (BugModel.DUPLICATION, BugModel.LEAKAGE),
+    ) -> Dict[OutcomeClass, int]:
+        counts = {outcome: 0 for outcome in OutcomeClass}
+        for r in self.of(benchmark):
+            if r.spec.model in models:
+                counts[r.outcome] += 1
+        return counts
+
+    # -- Figures 9/10: detection coverage -------------------------------------------------------
+
+    def coverage(self) -> Dict[str, float]:
+        """Detection coverage per method over all activated injections."""
+        rows = [r for r in self.results if r.activated]
+        if not rows:
+            return {
+                "idld": 0.0,
+                "end_of_test": 0.0,
+                "bv": 0.0,
+                "end_of_test+bv": 0.0,
+                "bv_first": 0.0,
+            }
+        total = len(rows)
+        idld = sum(1 for r in rows if r.idld_detected)
+        eot = sum(1 for r in rows if r.eot_detected)
+        bv = sum(1 for r in rows if r.bv_detected)
+        either = sum(1 for r in rows if r.eot_detected or r.bv_detected)
+        bv_first = sum(
+            1
+            for r in rows
+            if r.bv_detected
+            and (not r.eot_detected or r.bv_cycle < r.final_cycle)
+        )
+        return {
+            "idld": idld / total,
+            "end_of_test": eot / total,
+            "bv": bv / total,
+            "end_of_test+bv": either / total,
+            "bv_first": bv_first / total,
+        }
+
+    def detection_latencies(self, method: str) -> List[int]:
+        """Per-run detection latency for ``method`` ('idld' or 'bv')."""
+        out = []
+        for r in self.results:
+            latency = r.idld_latency if method == "idld" else r.bv_latency
+            if latency is not None:
+                out.append(latency)
+        return out
+
+
+def run_campaign(
+    programs: Dict[str, Program],
+    runs_per_model: int,
+    models: Iterable[BugModel] = PRIMARY_MODELS,
+    seed: int = 1,
+    config: Optional[CoreConfig] = None,
+    max_attempts: int = 6,
+) -> CampaignResult:
+    """Run a full injection campaign.
+
+    Args:
+        programs: benchmark name -> program.
+        runs_per_model: Injections per (benchmark, model) pair.
+        models: Bug models to exercise (the paper's three by default).
+        seed: Master seed; every draw derives from it deterministically.
+        config: Core configuration (paper defaults when None).
+        max_attempts: Redraws allowed until an injection actually fires
+            (an armed signal nobody exercises has no effect).
+
+    Returns:
+        The populated :class:`CampaignResult`.
+    """
+    rng = random.Random(seed)
+    campaign = CampaignResult()
+    for name, program in programs.items():
+        golden = run_golden(program, config)
+        campaign.goldens[name] = golden
+        for model in models:
+            for _ in range(runs_per_model):
+                result = None
+                for _attempt in range(max_attempts):
+                    spec = draw_spec(model, rng, golden.cycles, config or CoreConfig())
+                    result = run_injection(program, golden, spec, config)
+                    if result.activated:
+                        break
+                campaign.results.append(result)
+    return campaign

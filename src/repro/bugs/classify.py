@@ -1,0 +1,139 @@
+"""Classify a buggy run against its bug-free golden run (Sections IV, VI.C).
+
+The classifier reproduces the paper's methodology: "we keep track of the
+commit trace of the simulator. Therefore, we can monitor the bug activation
+cycle and the bug manifestation cycle (at which time the bug affects the
+committed instructions; the commit trace becomes different from the
+bug-free commit trace)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.outcomes import OutcomeClass
+from repro.core.cpu import RunResult
+from repro.core.errors import DeadlockError, MemoryFault, SimulatorAssertion
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+
+#: Timeout threshold: "2.5 times the bug-free execution time" (Section VI.C).
+TIMEOUT_FACTOR = 2.5
+
+
+@dataclass
+class Classification:
+    """Outcome class plus the manifestation point, if any."""
+
+    outcome: OutcomeClass
+    #: Cycle at which the bug first shows evidence (trace divergence, wrong
+    #: output word, or abort); None for Benign.
+    manifestation_cycle: Optional[int]
+
+    @property
+    def masked(self) -> bool:
+        return self.outcome.masked
+
+
+def timeout_budget(golden: RunResult) -> int:
+    """Maximum cycles a buggy run may take before it counts as Timeout."""
+    return max(64, int(golden.cycles * TIMEOUT_FACTOR))
+
+
+def _first_trace_divergence(
+    golden: RunResult, buggy: RunResult
+) -> Optional[int]:
+    """Cycle of the first commit that differs in PC or in timing."""
+    n = min(len(golden.commit_pcs), len(buggy.commit_pcs))
+    for i in range(n):
+        if (
+            golden.commit_pcs[i] != buggy.commit_pcs[i]
+            or golden.commit_cycles[i] != buggy.commit_cycles[i]
+        ):
+            return buggy.commit_cycles[i]
+    if len(buggy.commit_pcs) != len(golden.commit_pcs):
+        if len(buggy.commit_pcs) > n and n < len(buggy.commit_cycles):
+            return buggy.commit_cycles[n]
+        return buggy.cycles
+    return None
+
+
+def _pcs_only_divergence(golden: RunResult, buggy: RunResult) -> bool:
+    """True when the committed instruction *sequences* differ."""
+    return golden.commit_pcs != buggy.commit_pcs
+
+
+def _first_output_divergence_cycle(
+    program: Program, golden: RunResult, buggy: RunResult
+) -> int:
+    """Commit cycle of the first differing OUT value."""
+    out_cycles = [
+        cycle
+        for pc, cycle in zip(buggy.commit_pcs, buggy.commit_cycles)
+        if program.instructions[pc].opcode is Opcode.OUT
+    ]
+    n = min(len(golden.output), len(buggy.output))
+    for i in range(n):
+        if golden.output[i] != buggy.output[i]:
+            if i < len(out_cycles):
+                return out_cycles[i]
+            return buggy.cycles
+    if n < len(out_cycles):
+        return out_cycles[n]
+    return buggy.cycles
+
+
+def classify_run(
+    program: Program,
+    golden: RunResult,
+    buggy: Optional[RunResult],
+    error: Optional[Exception] = None,
+) -> Classification:
+    """Classify one buggy run.
+
+    Args:
+        program: The executed program (to locate OUT instructions).
+        golden: The bug-free reference run.
+        buggy: The buggy run's result; for aborted runs, the partial result
+            at the abort point (or None when unavailable).
+        error: The exception that ended the run, if any.
+
+    Returns:
+        The paper's outcome class plus the manifestation cycle.
+    """
+    if error is not None:
+        cycle = getattr(error, "cycle", buggy.cycles if buggy else 0)
+        if isinstance(error, SimulatorAssertion):
+            return Classification(OutcomeClass.ASSERT, cycle)
+        if isinstance(error, MemoryFault):
+            return Classification(OutcomeClass.CRASH, cycle)
+        if isinstance(error, DeadlockError):
+            return Classification(OutcomeClass.TIMEOUT, cycle)
+        raise error  # unexpected: a simulator defect, not a bug effect
+    if buggy is None:
+        raise ValueError("need a run result when no error is given")
+    if not buggy.halted:
+        # Externally stopped at the 2.5x budget.
+        divergence = _first_trace_divergence(golden, buggy)
+        return Classification(
+            OutcomeClass.TIMEOUT,
+            divergence if divergence is not None else buggy.cycles,
+        )
+    if buggy.output != golden.output:
+        divergence = _first_trace_divergence(golden, buggy)
+        if divergence is None:
+            divergence = _first_output_divergence_cycle(program, golden, buggy)
+        return Classification(OutcomeClass.SDC, divergence)
+    if _pcs_only_divergence(golden, buggy):
+        return Classification(
+            OutcomeClass.CONTROL_FLOW_DEVIATION,
+            _first_trace_divergence(golden, buggy),
+        )
+    divergence = _first_trace_divergence(golden, buggy)
+    if divergence is not None or buggy.cycles != golden.cycles:
+        return Classification(
+            OutcomeClass.PERFORMANCE,
+            divergence if divergence is not None else buggy.cycles,
+        )
+    return Classification(OutcomeClass.BENIGN, None)

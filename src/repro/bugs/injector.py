@@ -1,0 +1,41 @@
+"""Draws randomized :class:`BugSpec` instances and arms them on a fabric."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple, Union
+
+from repro.bugs.models import BugModel, BugSpec
+from repro.core.config import CoreConfig
+from repro.core.rrs.signals import ArmedCorruption, ArmedSuppression, SignalFabric
+
+
+def draw_spec(
+    model: BugModel,
+    rng: random.Random,
+    golden_cycles: int,
+    config: CoreConfig,
+) -> BugSpec:
+    """Draw one randomized injection for ``model``.
+
+    The injection cycle is uniform over the first 90% of the bug-free run so
+    the armed signal is virtually always exercised before the program ends
+    (an armed-but-never-exercised de-assertion has no microarchitectural
+    effect; see EXPERIMENTS.md on activation semantics).
+    """
+    window = max(2, int(golden_cycles * 0.9))
+    inject_cycle = rng.randint(1, window)
+    if model is BugModel.PDST_CORRUPTION:
+        mask = rng.randint(1, (1 << config.pdst_bits) - 1)
+        return BugSpec(model, inject_cycle, xor_mask=mask)
+    array, kind = rng.choice(model.signals)
+    return BugSpec(model, inject_cycle, array=array, kind=kind)
+
+
+def arm(
+    spec: BugSpec, fabric: SignalFabric
+) -> Union[ArmedSuppression, ArmedCorruption]:
+    """Arm a spec on a fabric; returns the armed handle for introspection."""
+    if spec.model is BugModel.PDST_CORRUPTION:
+        return fabric.arm_corruption(spec.inject_cycle, spec.xor_mask)
+    return fabric.arm_suppression(spec.array, spec.kind, spec.inject_cycle)

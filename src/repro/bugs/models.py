@@ -1,0 +1,90 @@
+"""Bug models for the RRS control logic (Section III).
+
+Two mechanisms, three campaign models:
+
+* *Control Signal Corruption* -- "a momentary control signal de-assertion
+  when the signal should normally have been asserted". The campaign splits
+  these by primary manifestation, as the paper's 1,000+1,000 run split
+  does: **DUPLICATION** (a FIFO read pointer erroneously not advanced) and
+  **LEAKAGE** (a write enable erroneously not asserted).
+* *PdstID Corruption* -- "the PdstID gets corrupted when it is written in
+  the RAT": the **PDST_CORRUPTION** model.
+
+A fourth, extended model (**RECOVERY_FLOW**) suppresses the multi-cycle
+recovery/checkpoint-flow signals of Table I (RHT walk pointers and writes,
+RAT/ROB/RHT recovery, CKPT capture); the paper discusses these in
+Section III.C ("multiple PdstIDs are leaked and duplicated") and we
+exercise them in the ablation bench.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.rrs.signals import (
+    ArrayName,
+    DUPLICATION_SIGNALS,
+    EXTENDED_SIGNALS,
+    LEAKAGE_SIGNALS,
+    SignalKind,
+)
+
+
+class BugModel(enum.Enum):
+    """The injectable bug models."""
+
+    DUPLICATION = "Duplication"
+    LEAKAGE = "Leakage"
+    PDST_CORRUPTION = "PdstID Corruption"
+    RECOVERY_FLOW = "Recovery Flow"  # extended model (ablation)
+
+    @property
+    def signals(self) -> Tuple[Tuple[ArrayName, SignalKind], ...]:
+        """Candidate control signals for this model (empty for corruption)."""
+        if self is BugModel.DUPLICATION:
+            return DUPLICATION_SIGNALS
+        if self is BugModel.LEAKAGE:
+            return LEAKAGE_SIGNALS
+        if self is BugModel.RECOVERY_FLOW:
+            return EXTENDED_SIGNALS
+        return ()
+
+
+#: The models of the paper's main campaign (Figures 3/4/5/8/9/10).
+PRIMARY_MODELS = (
+    BugModel.DUPLICATION,
+    BugModel.LEAKAGE,
+    BugModel.PDST_CORRUPTION,
+)
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """A fully-determined single-bug injection.
+
+    Attributes:
+        model: Which bug model.
+        inject_cycle: The suppression/corruption arms at this cycle and
+            fires on the signal's first use at or after it.
+        array / kind: The targeted control signal (None for corruption).
+        xor_mask: The corruption mask (None for signal suppressions).
+    """
+
+    model: BugModel
+    inject_cycle: int
+    array: Optional[ArrayName] = None
+    kind: Optional[SignalKind] = None
+    xor_mask: Optional[int] = None
+
+    def describe(self) -> str:
+        if self.model is BugModel.PDST_CORRUPTION:
+            return (
+                f"{self.model.value}: RAT-write data ^ {self.xor_mask:#x} "
+                f"from cycle {self.inject_cycle}"
+            )
+        return (
+            f"{self.model.value}: suppress {self.array.value}."
+            f"{self.kind.value} from cycle {self.inject_cycle}"
+        )

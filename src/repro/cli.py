@@ -1,0 +1,135 @@
+"""Command-line campaign harness (``idld-campaign``).
+
+Runs the paper's experiments at a configurable scale and prints the
+figure/table reports. Examples::
+
+    idld-campaign --runs 20                     # quick pass, all figures
+    idld-campaign --runs 100 --scale 2.5        # closer to paper scale
+    idld-campaign --figures 3,9 --benchmarks sha,qsort
+    idld-campaign --figures table2              # RTL cost model only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro.analysis.report import (
+    coverage_report,
+    figure3_report,
+    figure4_report,
+    figure5_report,
+    figure8_report,
+    latency_report,
+)
+from repro.bugs.campaign import run_campaign
+from repro.rtl.report import table_ii_report
+from repro.workloads import WORKLOADS
+
+
+def _parse_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="idld-campaign",
+        description="Reproduce the IDLD (MICRO 2022) evaluation figures.",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=20,
+        help="injections per (benchmark, bug model) pair [20]",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload input-size scale factor [1.0]",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="campaign master seed [1]"
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="all",
+        help="comma-separated benchmark names, or 'all'",
+    )
+    parser.add_argument(
+        "--figures",
+        default="3,4,5,8,9,10,table2",
+        help="comma-separated figure ids to report (3,4,5,8,9,10,table2)",
+    )
+    parser.add_argument(
+        "--export-csv",
+        default=None,
+        metavar="PATH",
+        help="write per-injection results to a CSV file",
+    )
+    parser.add_argument(
+        "--export-json",
+        default=None,
+        metavar="PATH",
+        help="write results + aggregates to a JSON file",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: List[str] = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    figures = {f.strip().lower() for f in args.figures.split(",")}
+
+    if "table2" in figures:
+        print(table_ii_report())
+        print()
+    campaign_figures = figures - {"table2"}
+    if not campaign_figures:
+        return 0
+
+    if args.benchmarks == "all":
+        names = list(WORKLOADS)
+    else:
+        names = [n.strip() for n in args.benchmarks.split(",")]
+        unknown = [n for n in names if n not in WORKLOADS]
+        if unknown:
+            print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    programs: Dict[str, object] = {
+        name: WORKLOADS[name](scale=args.scale) for name in names
+    }
+
+    started = time.time()
+    campaign = run_campaign(programs, runs_per_model=args.runs, seed=args.seed)
+    elapsed = time.time() - started
+    print(
+        f"campaign: {len(campaign.results)} injections over "
+        f"{len(programs)} benchmarks in {elapsed:.1f}s\n"
+    )
+    reports = {
+        "3": figure3_report,
+        "4": figure4_report,
+        "5": figure5_report,
+        "8": figure8_report,
+        "9": lambda c: coverage_report(c, with_bv=False),
+        "10": coverage_report,
+    }
+    for fig in ("3", "4", "5", "8", "9", "10"):
+        if fig in campaign_figures:
+            print("\n".join(reports[fig](campaign)))
+            print()
+    if "latency" in campaign_figures:
+        print("\n".join(latency_report(campaign)))
+    if args.export_csv:
+        from repro.analysis.export import write_csv
+
+        write_csv(campaign, args.export_csv)
+        print(f"wrote {args.export_csv}")
+    if args.export_json:
+        from repro.analysis.export import write_json
+
+        write_json(campaign, args.export_json)
+        print(f"wrote {args.export_json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

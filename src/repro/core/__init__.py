@@ -1,0 +1,21 @@
+"""Cycle-level out-of-order core with a full register renaming subsystem."""
+
+from repro.core.config import CoreConfig, paper_rrs_config
+from repro.core.cpu import OoOCore, RunResult
+from repro.core.errors import (
+    DeadlockError,
+    MemoryFault,
+    SimulationError,
+    SimulatorAssertion,
+)
+
+__all__ = [
+    "CoreConfig",
+    "DeadlockError",
+    "MemoryFault",
+    "OoOCore",
+    "RunResult",
+    "SimulationError",
+    "SimulatorAssertion",
+    "paper_rrs_config",
+]

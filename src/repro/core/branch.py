@@ -1,0 +1,92 @@
+"""Branch direction predictors.
+
+Deterministic predictors with enough real mispredictions on data-dependent
+branches to exercise the flush recovery flows (checkpoint restore + RHT
+walks) that Section V.C's IDLD bookkeeping exists for, but accurate enough
+on patterned loop branches that wrong-path time stays at realistic levels.
+Targets are direct, so no BTB is modeled: a predicted-taken branch
+redirects fetch to its encoded target.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BimodalPredictor:
+    """2-bit saturating counter table, initialized weakly-not-taken.
+
+    ``predict`` returns ``(taken, state)``; the opaque state must be handed
+    back to ``update`` so training hits the entry that actually predicted.
+    """
+
+    def __init__(self, entries: int = 512) -> None:
+        if entries < 1:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._counters: List[int] = [1] * entries
+
+    def reset(self) -> None:
+        self._counters = [1] * self.entries
+
+    def predict(self, pc: int):
+        """Predict the branch at ``pc``; returns (taken, predictor state)."""
+        idx = pc % self.entries
+        return self._counters[idx] >= 2, idx
+
+    def update(self, state: int, taken: bool, mispredicted: bool) -> None:
+        """Train on the resolved outcome."""
+        counter = self._counters[state]
+        if taken:
+            self._counters[state] = min(3, counter + 1)
+        else:
+            self._counters[state] = max(0, counter - 1)
+
+
+class GSharePredictor:
+    """Global-history-XOR-PC indexed 2-bit counters (the default).
+
+    The speculative global history shifts each prediction in at fetch and
+    is resynchronized to the architectural history when a mispredict
+    resolves -- the standard checkpoint-free approximation for a simulator
+    whose front end runs ahead of resolution. The predict-time table index
+    travels with the branch so training always hits the predicting entry.
+    """
+
+    def __init__(self, entries: int = 1024, history_bits: int = 10) -> None:
+        if entries < 1:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._counters: List[int] = [1] * entries
+        self._spec_history = 0
+        self._arch_history = 0
+
+    def reset(self) -> None:
+        self._counters = [1] * self.entries
+        self._spec_history = 0
+        self._arch_history = 0
+
+    def predict(self, pc: int):
+        """Predict the branch at ``pc``; returns (taken, predictor state)."""
+        idx = (pc ^ self._spec_history) % self.entries
+        taken = self._counters[idx] >= 2
+        self._spec_history = (
+            (self._spec_history << 1) | int(taken)
+        ) & self._history_mask
+        return taken, idx
+
+    def update(self, state: int, taken: bool, mispredicted: bool) -> None:
+        """Train the predicting entry; repair history on a mispredict."""
+        counter = self._counters[state]
+        if taken:
+            self._counters[state] = min(3, counter + 1)
+        else:
+            self._counters[state] = max(0, counter - 1)
+        self._arch_history = (
+            (self._arch_history << 1) | int(taken)
+        ) & self._history_mask
+        if mispredicted:
+            # The front end restarts from the redirect with a clean history.
+            self._spec_history = self._arch_history

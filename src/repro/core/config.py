@@ -1,0 +1,138 @@
+"""Core configuration.
+
+Defaults mirror the RRS configuration of the paper's Section VI.A: 128
+physical registers (which size the Free List and the Register History Table
+at 128 entries each), a 96-entry ReOrder Buffer, a 32-entry Register Alias
+Table and 4 RAT checkpoints. Rename width defaults to 4 (the paper sweeps
+1/2/4/6/8 for the RTL study; the bug-modeling study uses a superscalar
+configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.instructions import NUM_LOGICAL_REGS, Opcode
+
+#: Execution latency (cycles) per opcode; anything absent defaults to 1.
+DEFAULT_LATENCIES: Dict[Opcode, int] = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+    Opcode.REM: 12,
+    Opcode.LD: 2,
+    Opcode.ST: 1,
+}
+
+
+@dataclass
+class CoreConfig:
+    """Static configuration of the out-of-order core and its RRS.
+
+    Attributes:
+        width: Superscalar width used for fetch, rename and commit.
+        issue_width: Maximum instructions issued to execution per cycle.
+        num_physical_regs: Size of the merged physical register file; also
+            sizes the FL and RHT per the paper.
+        rob_entries: ReOrder Buffer capacity.
+        num_checkpoints: RAT checkpoint slots (CKPT table size).
+        checkpoint_interval: A checkpoint is taken every this many ROB
+            allocations ("at every fixed number of ROB entry allocations").
+        issue_queue_entries: Scheduler capacity.
+        fetch_buffer_entries: Decoded-instruction buffer between fetch and
+            rename.
+        store_queue_entries: In-flight store capacity.
+        recovery_walk_width: RHT entries processed per cycle during the
+            positive/negative recovery walks (flush recovery is multi-cycle,
+            Section V.C).
+        memory_limit: First illegal data address; committed accesses at or
+            beyond it raise :class:`repro.core.errors.MemoryFault`.
+        latencies: Per-opcode execute latencies.
+        predictor_entries: Branch predictor 2-bit-counter table size.
+        deadlock_cycles: Declare deadlock after this many cycles without a
+            commit or a flush while instructions are in flight.
+    """
+
+    width: int = 4
+    issue_width: int = 0  # 0 -> same as width
+    num_physical_regs: int = 128
+    rob_entries: int = 96
+    num_checkpoints: int = 4
+    checkpoint_interval: int = 24
+    issue_queue_entries: int = 48
+    fetch_buffer_entries: int = 16
+    store_queue_entries: int = 24
+    recovery_walk_width: int = 4
+    memory_limit: int = 1 << 20
+    latencies: Dict[Opcode, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES)
+    )
+    predictor_kind: str = "gshare"  # "gshare" | "bimodal"
+    predictor_entries: int = 1024
+    predictor_history_bits: int = 10
+    deadlock_cycles: int = 20_000
+    #: Section V.E optimization: rename zero idioms (``li rd, 0`` and
+    #: ``xor rd, rs, rs``) to a shared hardwired-zero register instead of
+    #: allocating a Pdst. The RAT asserts a duplicate-marking signal so
+    #: IDLD skips the shared identifier; suppressing that signal is itself
+    #: an injectable bug the checker must catch.
+    zero_idiom_elimination: bool = False
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            self.issue_width = self.width
+        if self.num_physical_regs <= NUM_LOGICAL_REGS:
+            raise ValueError(
+                "need more physical than logical registers "
+                f"({self.num_physical_regs} <= {NUM_LOGICAL_REGS})"
+            )
+        if self.rob_entries < self.width:
+            raise ValueError("ROB must hold at least one rename group")
+        if self.num_checkpoints < 1:
+            raise ValueError("need at least one checkpoint slot")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be positive")
+        if self.predictor_kind not in ("gshare", "bimodal"):
+            raise ValueError(f"unknown predictor kind {self.predictor_kind!r}")
+        # The RHT must be able to hold every in-flight instruction plus the
+        # committed-but-unreclaimed tail behind the anchor checkpoint.
+        min_rht = self.rob_entries + self.checkpoint_interval
+        if self.rht_entries < min_rht:
+            raise ValueError(
+                f"RHT too small: {self.rht_entries} < rob_entries + "
+                f"checkpoint_interval = {min_rht}"
+            )
+
+    @property
+    def rht_entries(self) -> int:
+        """RHT capacity; sized by the physical register count per the paper."""
+        return self.num_physical_regs
+
+    @property
+    def free_list_entries(self) -> int:
+        """FL capacity; sized by the physical register count per the paper."""
+        return self.num_physical_regs
+
+    @property
+    def pdst_bits(self) -> int:
+        """Bits needed to encode one PdstID."""
+        return max(1, (self.num_physical_regs - 1).bit_length())
+
+    @property
+    def zero_pdst(self):
+        """The hardwired-zero register id, or None when the optimization is
+        off. It sits outside the tracked token set {0..num_physical-1}."""
+        if self.zero_idiom_elimination:
+            return self.num_physical_regs
+        return None
+
+
+def paper_rrs_config(width: int = 4) -> CoreConfig:
+    """The exact RRS geometry of the paper's Section VI.A at a given width."""
+    return CoreConfig(
+        width=width,
+        num_physical_regs=128,
+        rob_entries=96,
+        num_checkpoints=4,
+        checkpoint_interval=24,
+    )

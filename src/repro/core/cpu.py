@@ -1,0 +1,636 @@
+"""Cycle-level out-of-order core with a full register renaming subsystem.
+
+The pipeline models exactly the machinery the paper's bug study needs:
+
+* N-wide fetch with a bimodal branch predictor (wrong-path speculation),
+* N-wide rename against the RRS arrays of Figure 1 (FL / RAT / ROB / RHT /
+  CKPT), including same-cycle same-Ldst groups,
+* out-of-order issue/execute over a merged physical register file with real
+  values (so rename bugs corrupt dataflow organically, as in Figure 2),
+* in-order commit with Pdst reclamation to the Free List,
+* multi-cycle flush recovery: RAT restore from the closest previous
+  checkpoint, a positive RHT walk to replay renames up to the offender, and
+  a negative RHT walk to return wrong-path PdstIDs to the FL (Section II).
+
+Stages are evaluated in reverse pipeline order each cycle so structural
+hazards behave like hardware reading last cycle's state. All RRS port
+traffic flows through control signals that a bug injector can suppress
+(:mod:`repro.core.rrs.signals`), and through observer events that the
+detectors consume (:mod:`repro.core.rrs.ports`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.branch import BimodalPredictor, GSharePredictor
+from repro.core.config import CoreConfig
+from repro.core.errors import DeadlockError, MemoryFault, SimulatorAssertion
+from repro.core.lsq import DataMemory, StoreQueue
+from repro.core.regfile import PhysicalRegisterFile
+from repro.core.rrs.checkpoint import CheckpointTable
+from repro.core.rrs.free_list import FreeList
+from repro.core.rrs.ports import RRSObserver
+from repro.core.rrs.rat import RegisterAliasTable
+from repro.core.rrs.rht import RegisterHistoryTable
+from repro.core.rrs.rob import ReorderBuffer
+from repro.core.rrs.signals import SignalFabric
+from repro.core.uop import Uop, UopState
+from repro.isa.instructions import (
+    Instruction,
+    NUM_LOGICAL_REGS,
+    Opcode,
+    WORD_MASK,
+)
+from repro.isa.program import Program
+from repro.isa.semantics import branch_taken, execute_op
+
+
+@dataclass
+class RunResult:
+    """Outcome of a (possibly truncated) simulation.
+
+    The commit trace is split into the committed PC sequence and the cycle
+    stamps so the classifier can distinguish the paper's *Performance*
+    class (same instructions, different cycles) from *Control Flow
+    Deviation* (different instructions) cheaply.
+    """
+
+    program_name: str
+    cycles: int
+    halted: bool
+    output: List[int]
+    commit_pcs: List[int]
+    commit_cycles: List[int]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> int:
+        return len(self.commit_pcs)
+
+
+@dataclass
+class _Recovery:
+    """In-progress flush recovery state (Section II / V.C flows)."""
+
+    offender_seq: int
+    redirect_pc: int
+    pos_ptr: int
+    pos_end: int  # exclusive
+    neg_ptr: int
+    neg_end: int  # exclusive lower bound (walk runs neg_ptr down to neg_end)
+    new_rht_tail: int
+
+
+class OoOCore:
+    """The simulated core. One instance runs one program once."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[CoreConfig] = None,
+        observers: Sequence[RRSObserver] = (),
+        fabric: Optional[SignalFabric] = None,
+        parity_protect: bool = False,
+    ) -> None:
+        self.program = program
+        self.config = config or CoreConfig()
+        self.fabric = fabric or SignalFabric()
+        self.observers: List[RRSObserver] = list(observers)
+
+        cfg = self.config
+        self.zero_pdst = cfg.zero_pdst
+        # Optional per-entry parity on the PdstID storage (the orthogonal
+        # protection of Section V.D; see repro.idld.parity).
+        self.parity: Dict[str, object] = {}
+        if parity_protect:
+            from repro.idld.parity import ParityStore
+
+            self.parity = {
+                "FL": ParityStore("FL"),
+                "RAT": ParityStore("RAT"),
+                "ROB": ParityStore("ROB"),
+            }
+        self.free_list = FreeList(
+            cfg.free_list_entries, self.fabric, self.observers,
+            parity=self.parity.get("FL"),
+        )
+        self.rat = RegisterAliasTable(
+            NUM_LOGICAL_REGS, self.fabric, self.observers,
+            zero_pdst=self.zero_pdst, parity=self.parity.get("RAT"),
+        )
+        self.rob = ReorderBuffer(
+            cfg.rob_entries, self.fabric, self.observers,
+            zero_pdst=self.zero_pdst, parity=self.parity.get("ROB"),
+        )
+        self.rht = RegisterHistoryTable(cfg.rht_entries, self.fabric, self.observers)
+        self.ckpt = CheckpointTable(cfg.num_checkpoints, self.fabric, self.observers)
+        # One extra physical register backs the hardwired zero when the
+        # zero-idiom optimization is on; it stays outside the token set.
+        prf_size = cfg.num_physical_regs + (1 if self.zero_pdst is not None else 0)
+        self.prf = PhysicalRegisterFile(prf_size)
+        self.memory = DataMemory(cfg.memory_limit, program.initial_memory)
+        self.store_queue = StoreQueue(cfg.store_queue_entries)
+        if cfg.predictor_kind == "gshare":
+            self.predictor = GSharePredictor(
+                cfg.predictor_entries, cfg.predictor_history_bits
+            )
+        else:
+            self.predictor = BimodalPredictor(cfg.predictor_entries)
+        self.reset()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Power-on: logical register i maps to Pdst i; the rest are free."""
+        cfg = self.config
+        initial_rat = list(range(NUM_LOGICAL_REGS))
+        initial_free = list(range(NUM_LOGICAL_REGS, cfg.num_physical_regs))
+        self.rat.reset(initial_rat)
+        self.free_list.reset(initial_free)
+        self.rob.reset()
+        self.rht.reset()
+        self.ckpt.reset(initial_rat)
+        self.prf.reset()
+        self.memory = DataMemory(cfg.memory_limit, self.program.initial_memory)
+        self.store_queue.reset()
+        self.predictor.reset()
+
+        self.cycle = 0
+        self.fabric.cycle = 0
+        self.halted = False
+        self.fetch_pc = 0
+        self.fetch_stalled = False
+        self.fetch_queue: List[Uop] = []
+        self.issue_queue: List[Uop] = []
+        self.executing: List[Tuple[int, Uop]] = []
+        self.pending_flushes: List[Uop] = []
+        self.recovery: Optional[_Recovery] = None
+        self.allocs_since_checkpoint = 0
+        self.output: List[int] = []
+        self.commit_pcs: List[int] = []
+        self.commit_cycles: List[int] = []
+        self.last_progress_cycle = 0
+        self.stats: Dict[str, int] = {
+            "fetched": 0,
+            "renamed": 0,
+            "flushes": 0,
+            "mispredicts": 0,
+            "checkpoints": 0,
+            "checkpoints_skipped": 0,
+            "recovery_cycles": 0,
+        }
+        for obs in self.observers:
+            obs.power_on(
+                cfg.num_physical_regs,
+                NUM_LOGICAL_REGS,
+                list(initial_free),
+                list(initial_rat),
+            )
+            # Slot 0 anchors the power-on architectural state.
+            obs.checkpoint_content(0, 0)
+            obs.checkpoint_meta(0, 0)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, max_cycles: int = 2_000_000) -> RunResult:
+        """Simulate until HALT commits or ``max_cycles`` elapse.
+
+        Raises:
+            SimulatorAssertion: The *Assert* outcome class.
+            MemoryFault: The *Crash* outcome class.
+            DeadlockError: Folded into the *Timeout* class by the campaign.
+        """
+        while not self.halted and self.cycle < max_cycles:
+            self.step()
+            if (
+                self.cycle - self.last_progress_cycle
+                > self.config.deadlock_cycles
+            ):
+                raise DeadlockError(self.cycle)
+        return self.result()
+
+    def result(self) -> RunResult:
+        stats = dict(self.stats)
+        stats["cycles"] = self.cycle
+        return RunResult(
+            program_name=self.program.name,
+            cycles=self.cycle,
+            halted=self.halted,
+            output=list(self.output),
+            commit_pcs=list(self.commit_pcs),
+            commit_cycles=list(self.commit_cycles),
+            stats=stats,
+        )
+
+    def step(self) -> None:
+        """Advance one clock cycle."""
+        self.cycle += 1
+        self.fabric.cycle = self.cycle
+        if self.recovery is not None:
+            self._recovery_step()
+            self.stats["recovery_cycles"] += 1
+            self.last_progress_cycle = self.cycle
+        else:
+            self._commit_stage()
+        self._execute_stage()
+        self._flush_arbitration()
+        self._issue_stage()
+        if self.recovery is None and not self.halted:
+            self._maybe_emergency_checkpoint()
+            self._rename_stage()
+            self._fetch_stage()
+        for obs in self.observers:
+            if self.rob.empty and self.recovery is None:
+                obs.pipeline_empty(self.cycle)
+            obs.cycle_end(self.cycle)
+
+    # -- commit -------------------------------------------------------------------
+
+    def _commit_stage(self) -> None:
+        for _ in range(self.config.width):
+            slot = self.rob.head_slot
+            if slot is None:
+                break
+            uop: Uop = slot.uop
+            if uop is None or uop.state is not UopState.DONE:
+                break
+            inst = uop.inst
+            if uop.fault is not None:
+                raise MemoryFault(self.cycle, uop.fault)
+            if inst.is_store:
+                self.memory.committed_write(
+                    self.cycle, uop.mem_address, uop.result
+                )
+                self.store_queue.release(uop.seq)
+            elif inst.is_load:
+                self.memory.check_committed_read(self.cycle, uop.mem_address)
+            elif inst.opcode is Opcode.OUT:
+                self.output.append(uop.result)
+            reclaim_has_dest, reclaim_pdst = self.rob.commit_read()
+            if reclaim_has_dest:
+                self.free_list.push(reclaim_pdst)
+            self.commit_pcs.append(uop.pc)
+            self.commit_cycles.append(self.cycle)
+            self.last_progress_cycle = self.cycle
+            if inst.is_halt:
+                self.halted = True
+                break
+        # Anchor maintenance: retire old checkpoints, free RHT entries.
+        anchor = self.ckpt.retire_anchor(self.rob.head_pos)
+        if anchor is not None:
+            self.rht.advance_head(anchor.rht_pos)
+
+    # -- execute ---------------------------------------------------------------------
+
+    def _execute_stage(self) -> None:
+        still: List[Tuple[int, Uop]] = []
+        for finish, uop in self.executing:
+            if uop.state is UopState.SQUASHED:
+                continue
+            if finish <= self.cycle:
+                self._complete(uop)
+            else:
+                still.append((finish, uop))
+        self.executing = still
+
+    def _complete(self, uop: Uop) -> None:
+        inst = uop.inst
+        if uop.pdst is not None:
+            self.prf.write(uop.pdst, uop.result)
+        uop.state = UopState.DONE
+        uop.done_cycle = self.cycle
+        if inst.is_branch:
+            mispredicted = (
+                uop.taken != uop.predicted_taken
+                or uop.actual_target != uop.predicted_target
+            )
+            self.predictor.update(uop.pred_state, uop.taken, mispredicted)
+            if mispredicted:
+                self.stats["mispredicts"] += 1
+                self.pending_flushes.append(uop)
+
+    # -- flush arbitration ----------------------------------------------------------------
+
+    def _flush_arbitration(self) -> None:
+        self.pending_flushes = [
+            u for u in self.pending_flushes if u.state is not UopState.SQUASHED
+        ]
+        if self.recovery is not None or not self.pending_flushes:
+            return
+        offender = min(self.pending_flushes, key=lambda u: u.seq)
+        self.pending_flushes.remove(offender)
+        self._begin_recovery(offender)
+
+    def _begin_recovery(self, offender: Uop) -> None:
+        self.stats["flushes"] += 1
+        for obs in self.observers:
+            obs.recovery_begin(self.cycle)
+        f_seq = offender.seq
+        rht_tail_at_flush = self.rht.tail_pos
+        # Squash younger in-flight work everywhere.
+        self.fetch_queue = []
+        for uop in self.issue_queue:
+            if uop.seq > f_seq:
+                uop.state = UopState.SQUASHED
+        self.issue_queue = [u for u in self.issue_queue if u.seq <= f_seq]
+        for _, uop in self.executing:
+            if uop.seq > f_seq:
+                uop.state = UopState.SQUASHED
+        self.executing = [(c, u) for c, u in self.executing if u.seq <= f_seq]
+        for slot in self.rob.live_slots():
+            if slot.seq > f_seq and slot.uop is not None:
+                slot.uop.state = UopState.SQUASHED
+        self.store_queue.squash_after(f_seq)
+        self.rob.squash_after(f_seq)
+        # Select and restore the closest previous checkpoint.
+        ckpt = self.ckpt.select_for(f_seq)
+        if ckpt is None:
+            raise SimulatorAssertion(
+                self.cycle, "no checkpoint available for recovery"
+            )
+        if self.rat.restore(ckpt.rat_image):
+            for obs in self.observers:
+                obs.checkpoint_restored(ckpt.index)
+        self.ckpt.free_younger_than(f_seq + 1)
+        pos_start = ckpt.rht_pos
+        pos_end = ckpt.rht_pos + (f_seq - ckpt.pos) + 1  # exclusive
+        neg_end = pos_end  # exclusive lower bound for the negative walk
+        self.recovery = _Recovery(
+            offender_seq=f_seq,
+            redirect_pc=offender.actual_target,
+            pos_ptr=pos_start,
+            pos_end=pos_end,
+            neg_ptr=rht_tail_at_flush - 1,
+            neg_end=neg_end,
+            new_rht_tail=pos_end,
+        )
+
+    def _recovery_step(self) -> None:
+        rec = self.recovery
+        steps = self.config.recovery_walk_width
+        while steps > 0 and rec.pos_ptr < rec.pos_end:
+            entry = self.rht.read_slot(rec.pos_ptr)
+            if entry.has_dest:
+                if entry.new_pdst == self.zero_pdst and self.zero_pdst is not None:
+                    self.rat.write_zero_idiom(entry.ldst)
+                else:
+                    self.rat.write(entry.ldst, entry.new_pdst)
+            if self.rht.walk_advance():
+                rec.pos_ptr += 1
+            steps -= 1
+        while steps > 0 and rec.neg_ptr >= rec.neg_end:
+            entry = self.rht.read_slot(rec.neg_ptr)
+            if entry.has_dest and entry.new_pdst != self.zero_pdst:
+                self.free_list.push(entry.new_pdst)
+            if self.rht.walk_advance():
+                rec.neg_ptr -= 1
+            steps -= 1
+        if rec.pos_ptr >= rec.pos_end and rec.neg_ptr < rec.neg_end:
+            self._finish_recovery()
+
+    def _finish_recovery(self) -> None:
+        rec = self.recovery
+        self.rht.restore_tail(rec.new_rht_tail)
+        self.fetch_pc = rec.redirect_pc
+        self.fetch_stalled = not (0 <= self.fetch_pc < len(self.program))
+        self.allocs_since_checkpoint = 0
+        self.recovery = None
+        for obs in self.observers:
+            obs.recovery_end(self.cycle)
+
+    # -- issue / execute entry -----------------------------------------------------------------
+
+    def _issue_stage(self) -> None:
+        issued = 0
+        remaining: List[Uop] = []
+        for uop in self.issue_queue:
+            if uop.state is UopState.SQUASHED:
+                continue
+            if issued >= self.config.issue_width or not self._try_issue(uop):
+                remaining.append(uop)
+            else:
+                issued += 1
+                self.last_progress_cycle = self.cycle
+        self.issue_queue = remaining
+
+    def _try_issue(self, uop: Uop) -> bool:
+        inst = uop.inst
+        for pdst in uop.src_pdsts:
+            if not self.prf.is_ready(pdst):
+                return False
+        values = [self.prf.read(p) for p in uop.src_pdsts]
+        if inst.is_load:
+            address = (values[0] + inst.imm) & WORD_MASK
+            must_stall, forwarded = self.store_queue.forward_for_load(
+                uop.seq, address
+            )
+            if must_stall:
+                return False
+            uop.mem_address = address
+            if address >= self.config.memory_limit:
+                uop.fault = address
+                uop.result = 0
+            else:
+                uop.result = (
+                    forwarded if forwarded is not None else self.memory.read(address)
+                )
+        elif inst.is_store:
+            address = (values[0] + inst.imm) & WORD_MASK
+            uop.mem_address = address
+            uop.result = values[1]
+            if address >= self.config.memory_limit:
+                uop.fault = address
+            self.store_queue.resolve(uop.seq, address, values[1])
+        elif inst.is_branch:
+            uop.taken = branch_taken(inst.opcode, values[0], values[1])
+            uop.actual_target = inst.target if uop.taken else uop.pc + 1
+        elif inst.opcode is Opcode.OUT:
+            uop.result = values[0]
+        elif inst.opcode is Opcode.LI:
+            uop.result = inst.imm & WORD_MASK
+        elif inst.uses_immediate:
+            uop.result = execute_op(inst.opcode, values[0], inst.imm)
+        else:
+            uop.result = execute_op(inst.opcode, values[0], values[1])
+        uop.state = UopState.EXECUTING
+        latency = self.config.latencies.get(inst.opcode, 1)
+        self.executing.append((self.cycle + latency, uop))
+        return True
+
+    # -- rename --------------------------------------------------------------------------
+
+    def _maybe_emergency_checkpoint(self) -> None:
+        """Keep the RHT drainable when checkpoint slots ran dry.
+
+        If nothing is in flight, the speculative RAT *is* the architectural
+        RAT, so a checkpoint at the commit point is always legal; taking one
+        lets the anchor advance and the RHT head move (see checkpoint.py).
+        """
+        if (
+            self.rob.empty
+            and self.rht.occupancy >= self.rht.capacity - self.config.width
+        ):
+            slot = self.ckpt.take(
+                self.rob.head_pos,
+                self.rht.tail_pos,
+                self.rat.snapshot(),
+                force=True,
+            )
+            if slot is not None:
+                anchor = self.ckpt.retire_anchor(self.rob.head_pos)
+                if anchor is not None:
+                    self.rht.advance_head(anchor.rht_pos)
+
+    def _rename_stage(self) -> None:
+        cfg = self.config
+        for _ in range(cfg.width):
+            if not self.fetch_queue:
+                break
+            uop = self.fetch_queue[0]
+            inst = uop.inst
+            eliminated = self._is_zero_idiom(inst)
+            needs_queue = self._needs_issue_queue(inst) and not eliminated
+            if self.rob.full:
+                break
+            if self.rht.occupancy >= self.rht.capacity:
+                break
+            if inst.writes_register and not eliminated and self.free_list.count <= 0:
+                break
+            if needs_queue and len(self.issue_queue) >= cfg.issue_queue_entries:
+                break
+            if inst.is_store and self.store_queue.full:
+                break
+            if self.allocs_since_checkpoint >= cfg.checkpoint_interval:
+                taken = self.ckpt.take(
+                    self.rob.tail_pos, self.rht.tail_pos, self.rat.snapshot()
+                )
+                if taken is not None:
+                    self.stats["checkpoints"] += 1
+                    self.allocs_since_checkpoint = 0
+                else:
+                    self.stats["checkpoints_skipped"] += 1
+            self.fetch_queue.pop(0)
+            self._rename_one(uop)
+            self.stats["renamed"] += 1
+            self.allocs_since_checkpoint += 1
+            self.last_progress_cycle = self.cycle
+
+    def _is_zero_idiom(self, inst: Instruction) -> bool:
+        """Zero idioms renameable to the shared zero register (V.E)."""
+        if self.zero_pdst is None:
+            return False
+        if inst.opcode is Opcode.LI and inst.imm == 0:
+            return True
+        return (
+            inst.opcode in (Opcode.XOR, Opcode.SUB)
+            and inst.rs1 == inst.rs2
+        )
+
+    def _rename_one(self, uop: Uop) -> None:
+        inst = uop.inst
+        seq = self.rob.tail_pos
+        uop.seq = seq
+        if self._is_zero_idiom(inst):
+            # Eliminated at rename: no Pdst allocation, no execution. The
+            # RAT points the destination at the shared zero register with
+            # the duplicate-marking signal asserted.
+            evicted = self.rat.read(inst.rd)
+            self.rat.write_zero_idiom(inst.rd)
+            self.rht.log(True, inst.rd, self.zero_pdst)
+            self.rob.allocate(seq, uop, True, evicted, self.zero_pdst)
+            uop.pdst = None
+            uop.evicted_pdst = evicted
+            uop.src_pdsts = []
+            uop.state = UopState.DONE
+            uop.done_cycle = self.cycle
+            return
+        uop.src_pdsts = [self.rat.read(s) for s in inst.source_registers()]
+        if inst.writes_register:
+            pdst = self.free_list.pop()
+            evicted = self.rat.read(inst.rd)
+            self.rat.write(inst.rd, pdst)
+            # The RHT taps the allocation bus before the RAT write port, so
+            # it logs the *uncorrupted* identifier (Section III.B: a
+            # corrupted PdstID "is possible to recover... from RHT").
+            self.rht.log(True, inst.rd, pdst)
+            self.rob.allocate(seq, uop, True, evicted, pdst)
+            self.prf.mark_pending(pdst)
+            uop.pdst = pdst
+            uop.evicted_pdst = evicted
+        else:
+            self.rht.log(False, 0, 0)
+            self.rob.allocate(seq, uop, False, 0, -1)
+        if inst.is_store:
+            self.store_queue.allocate(seq)
+        if self._needs_issue_queue(inst):
+            uop.state = UopState.WAITING
+            self.issue_queue.append(uop)
+        else:
+            uop.state = UopState.DONE
+            uop.done_cycle = self.cycle
+
+    @staticmethod
+    def _needs_issue_queue(inst: Instruction) -> bool:
+        return inst.opcode not in (Opcode.NOP, Opcode.JMP, Opcode.HALT)
+
+    # -- fetch ------------------------------------------------------------------------------
+
+    def _fetch_stage(self) -> None:
+        cfg = self.config
+        for _ in range(cfg.width):
+            if self.fetch_stalled:
+                break
+            if len(self.fetch_queue) >= cfg.fetch_buffer_entries:
+                break
+            if not 0 <= self.fetch_pc < len(self.program):
+                self.fetch_stalled = True
+                break
+            pc = self.fetch_pc
+            inst = self.program.instructions[pc]
+            uop = Uop(seq=-1, pc=pc, inst=inst, fetch_cycle=self.cycle)
+            self.stats["fetched"] += 1
+            if inst.is_halt:
+                self.fetch_queue.append(uop)
+                self.fetch_stalled = True
+                break
+            if inst.is_jump:
+                self.fetch_queue.append(uop)
+                self.fetch_pc = inst.target
+                continue
+            if inst.is_branch:
+                predicted, uop.pred_state = self.predictor.predict(pc)
+                uop.predicted_taken = predicted
+                uop.predicted_target = inst.target if predicted else pc + 1
+                self.fetch_queue.append(uop)
+                self.fetch_pc = uop.predicted_target
+                continue
+            self.fetch_queue.append(uop)
+            self.fetch_pc = pc + 1
+
+    # -- probes -------------------------------------------------------------------------------
+
+    def rrs_id_census(self) -> Dict[int, int]:
+        """Count where every PdstID currently lives across FL/RAT/ROB.
+
+        The closed-loop invariant (Section V.A) says this is exactly
+        {0..P-1}, once each, whenever the pipeline is quiescent. The
+        persistence probe (Figure 4) calls this after HALT commits.
+        """
+        census: Dict[int, int] = {}
+        for pdst in self.free_list.contents():
+            census[pdst] = census.get(pdst, 0) + 1
+        for pdst in self.rat.contents():
+            if pdst != self.zero_pdst:
+                census[pdst] = census.get(pdst, 0) + 1
+        for pdst in self.rob.live_evicted_ids():
+            census[pdst] = census.get(pdst, 0) + 1
+        return census
+
+    def census_is_clean(self) -> bool:
+        """True when every PdstID appears exactly once in the census."""
+        census = self.rrs_id_census()
+        if len(census) != self.config.num_physical_regs:
+            return False
+        return all(count == 1 for count in census.values())

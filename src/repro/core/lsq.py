@@ -1,0 +1,127 @@
+"""Data memory and the store queue.
+
+Stores write memory only at commit; loads execute speculatively, forwarding
+from older in-flight stores when the address matches and conservatively
+stalling when any older store address is still unknown (no memory
+dependence speculation in the core -- the Store-Sets predictor of the
+paper's Section V.F lives in its own substrate, :mod:`repro.mdp`).
+
+Wrong-path or bug-corrupted addresses never raise at execute time; a
+:class:`repro.core.errors.MemoryFault` fires only when a faulting access
+*commits* (the paper's Crash class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import MemoryFault, SimulatorAssertion
+from repro.isa.instructions import WORD_MASK
+
+
+@dataclass
+class StoreQueueEntry:
+    """One in-flight store."""
+
+    seq: int
+    address: Optional[int] = None
+    value: Optional[int] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.address is not None
+
+
+class DataMemory:
+    """Sparse word-addressed memory with a legality window."""
+
+    def __init__(self, limit: int, initial: Optional[Dict[int, int]] = None) -> None:
+        self.limit = limit
+        self._words: Dict[int, int] = dict(initial or {})
+
+    def read(self, address: int) -> int:
+        """Speculative read; out-of-window reads return 0 (never raise)."""
+        return self._words.get(address & WORD_MASK, 0)
+
+    def committed_write(self, cycle: int, address: int, value: int) -> None:
+        """Commit-time store; faults outside the legality window."""
+        address &= WORD_MASK
+        if address >= self.limit:
+            raise MemoryFault(cycle, address)
+        self._words[address] = value & WORD_MASK
+
+    def check_committed_read(self, cycle: int, address: int) -> None:
+        """Commit-time legality check for a load's address."""
+        address &= WORD_MASK
+        if address >= self.limit:
+            raise MemoryFault(cycle, address)
+
+
+class StoreQueue:
+    """In-order queue of in-flight stores with forwarding search."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[StoreQueueEntry] = []
+
+    def reset(self) -> None:
+        self._entries = []
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def allocate(self, seq: int) -> StoreQueueEntry:
+        if self.full:
+            raise SimulatorAssertion(0, "store queue overflow")
+        entry = StoreQueueEntry(seq)
+        self._entries.append(entry)
+        return entry
+
+    def resolve(self, seq: int, address: int, value: int) -> None:
+        """Record a store's computed address and data."""
+        for entry in self._entries:
+            if entry.seq == seq:
+                entry.address = address & WORD_MASK
+                entry.value = value & WORD_MASK
+                return
+
+    def forward_for_load(
+        self, load_seq: int, address: int
+    ) -> Tuple[bool, Optional[int]]:
+        """Search older stores for a forwardable value.
+
+        Returns:
+            ``(must_stall, value)``. ``must_stall`` is True when an older
+            store's address is still unknown (conservative ordering).
+            ``value`` is the newest older matching store's data, or None to
+            read memory.
+        """
+        address &= WORD_MASK
+        value: Optional[int] = None
+        for entry in self._entries:
+            if entry.seq >= load_seq:
+                continue
+            if not entry.resolved:
+                return True, None
+            if entry.address == address:
+                value = entry.value
+        return False, value
+
+    def release(self, seq: int) -> Optional[StoreQueueEntry]:
+        """Free the entry of a committing store (oldest-first by design)."""
+        for i, entry in enumerate(self._entries):
+            if entry.seq == seq:
+                return self._entries.pop(i)
+        return None
+
+    def squash_after(self, offender_seq: int) -> None:
+        """Drop entries younger than the flush offender."""
+        self._entries = [e for e in self._entries if e.seq <= offender_seq]

@@ -1,0 +1,165 @@
+"""Checkpoint table: periodic RAT snapshots for fast flush recovery.
+
+"CKPT is used to take regularly snapshots of the RAT... The Checkpoint
+signal is generated at regular intervals; in our design at every fixed
+number of ROB entry allocations" (Sections II, III.A).
+
+A checkpoint records the RAT image plus the rename-sequence position and
+the RHT write-pointer position at capture time; recovery selects "the
+closest previous checkpoint to the offending instruction" and walks the
+RHT forward from the recorded position.
+
+The content capture is gated by the CKPT checkpoint signal. A suppressed
+capture updates the slot's position metadata while the array keeps its
+stale image -- the Section III.C scenario where the RAT "is recovered from
+a wrong checkpoint since the correct checkpoint was not taken".
+
+Slot lifetime: one *anchor* checkpoint (the youngest at or below the commit
+point) is always retained so that any flush -- whose offender is by
+definition uncommitted -- finds a usable snapshot; older slots are freed as
+the anchor advances, and younger slots are freed when a flush squashes past
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.rrs.ports import RRSObserver
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+
+
+@dataclass
+class CheckpointSlot:
+    """One CKPT entry."""
+
+    index: int
+    valid: bool = False
+    #: Rename sequence position: the snapshot reflects the RAT after all
+    #: instructions with seq < pos were renamed.
+    pos: int = -1
+    #: RHT write-pointer position at capture time (positive walks start here).
+    rht_pos: int = -1
+    rat_image: List[int] = field(default_factory=list)
+
+
+class CheckpointTable:
+    """Fixed set of checkpoint slots with injectable capture signal."""
+
+    def __init__(
+        self,
+        num_slots: int,
+        fabric: SignalFabric,
+        observers: Sequence[RRSObserver],
+    ) -> None:
+        if num_slots < 1:
+            raise ValueError("need at least one checkpoint slot")
+        self._fabric = fabric
+        self._observers = observers
+        self._slots = [CheckpointSlot(i) for i in range(num_slots)]
+
+    def reset(self, initial_rat: Sequence[int]) -> None:
+        """Power-on: slot 0 anchors the initial architectural state."""
+        for slot in self._slots:
+            slot.valid = False
+            slot.pos = -1
+            slot.rht_pos = -1
+            slot.rat_image = []
+        slot0 = self._slots[0]
+        slot0.valid = True
+        slot0.pos = 0
+        slot0.rht_pos = 0
+        slot0.rat_image = list(initial_rat)
+
+    # -- capture --------------------------------------------------------------
+
+    def _find_free_slot(self) -> Optional[CheckpointSlot]:
+        for slot in self._slots:
+            if not slot.valid:
+                return slot
+        return None
+
+    def take(
+        self, pos: int, rht_pos: int, rat_image: Sequence[int], force: bool = False
+    ) -> Optional[CheckpointSlot]:
+        """Capture a checkpoint at rename position ``pos``.
+
+        Args:
+            pos: Rename sequence the snapshot corresponds to.
+            rht_pos: RHT write-pointer position at capture time.
+            rat_image: The live RAT contents (copied on capture).
+            force: When True and no slot is free, recycle the oldest slot
+                (used by the commit-point emergency checkpoint that keeps
+                the RHT drainable; legal only when nothing is in flight).
+
+        Returns:
+            The slot used, or None when no slot was available (the
+            checkpoint is skipped; recovery simply walks further).
+        """
+        slot = self._find_free_slot()
+        if slot is None:
+            if not force:
+                return None
+            slot = min(
+                (s for s in self._slots if s.valid), key=lambda s: s.pos
+            )
+            for obs in self._observers:
+                obs.checkpoint_freed(slot.index)
+        # Metadata always advances; the content capture is gated.
+        slot.valid = True
+        slot.pos = pos
+        slot.rht_pos = rht_pos
+        if self._fabric.asserted(ArrayName.CKPT, SignalKind.CHECKPOINT):
+            slot.rat_image = list(rat_image)
+            for obs in self._observers:
+                obs.checkpoint_content(slot.index, pos)
+        for obs in self._observers:
+            obs.checkpoint_meta(slot.index, pos)
+        return slot
+
+    # -- selection / lifetime -------------------------------------------------------
+
+    def select_for(self, offender_seq: int) -> Optional[CheckpointSlot]:
+        """Closest previous checkpoint: youngest with pos <= offender+1."""
+        best = None
+        for slot in self._slots:
+            if slot.valid and slot.pos <= offender_seq + 1:
+                if best is None or slot.pos > best.pos:
+                    best = slot
+        return best
+
+    def free_younger_than(self, pos: int) -> None:
+        """Release slots captured past a squash point."""
+        for slot in self._slots:
+            if slot.valid and slot.pos > pos:
+                slot.valid = False
+                for obs in self._observers:
+                    obs.checkpoint_freed(slot.index)
+
+    def retire_anchor(self, commit_seq: int) -> Optional[CheckpointSlot]:
+        """Advance the anchor to the youngest slot at/below the commit point.
+
+        Frees every older slot and returns the anchor (None only if the
+        table is in a bug-corrupted state with no usable slot).
+        """
+        anchor = None
+        for slot in self._slots:
+            if slot.valid and slot.pos <= commit_seq:
+                if anchor is None or slot.pos > anchor.pos:
+                    anchor = slot
+        if anchor is not None:
+            for slot in self._slots:
+                if slot.valid and slot.pos < anchor.pos:
+                    slot.valid = False
+                    for obs in self._observers:
+                        obs.checkpoint_freed(slot.index)
+        return anchor
+
+    # -- probes -------------------------------------------------------------------
+
+    def valid_slots(self) -> List[CheckpointSlot]:
+        return [slot for slot in self._slots if slot.valid]
+
+    def __len__(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,146 @@
+"""Free List: FIFO of free physical register identifiers.
+
+"FL is a first-in-first-out hardware structure, where PdstIDs are
+initialized each time the processor core is powered on" (Section II).
+Implemented as a circular buffer whose head (read) and tail (write)
+pointers advance under control of the Table I read/write enables, so a
+suppressed enable produces exactly the hardware failure mode: a stale
+value re-delivered (duplication) or a dropped reclaim (leakage).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.core.errors import SimulatorAssertion
+from repro.core.rrs.ports import RRSObserver
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- idld)
+    from repro.idld.parity import ParityStore
+
+
+class FreeList:
+    """Circular FIFO of PdstIDs with bug-injectable control signals."""
+
+    def __init__(
+        self,
+        capacity: int,
+        fabric: SignalFabric,
+        observers: Sequence[RRSObserver],
+        parity: Optional["ParityStore"] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._fabric = fabric
+        self._observers = observers
+        self._parity = parity
+        self._array: List[int] = [0] * capacity
+        self._head = 0
+        self._tail = 0
+        self._count = 0
+
+    def reset(self, initial_ids: Iterable[int]) -> None:
+        """Power-on initialization with the initially-free PdstIDs."""
+        ids = list(initial_ids)
+        if len(ids) > self.capacity:
+            raise ValueError("more initial ids than capacity")
+        self._array = [0] * self.capacity
+        if self._parity is not None:
+            self._parity.reset()
+        for i, pdst in enumerate(ids):
+            self._array[i] = pdst
+            if self._parity is not None:
+                self._parity.on_write(i, pdst)
+        self._head = 0
+        self._tail = len(ids) % self.capacity
+        self._count = len(ids)
+
+    @property
+    def count(self) -> int:
+        """Number of free registers according to the FIFO pointers."""
+        return self._count
+
+    @property
+    def empty(self) -> bool:
+        return self._count == 0
+
+    def peek(self) -> int:
+        """Value currently driven on the read bus (head entry)."""
+        return self._array[self._head]
+
+    def pop(self) -> int:
+        """Allocate one PdstID.
+
+        Returns whatever the read bus carries. If the read enable was
+        suppressed by a bug, the pointers do not advance (the same PdstID
+        will be delivered again -- a duplication) and no observer event is
+        emitted (the XOR update is gated by the same enable).
+
+        Raises:
+            SimulatorAssertion: On pop from an empty FIFO (rename must guard
+                with :attr:`count`; reaching here means a bug corrupted the
+                occupancy, which real hardware could not recover from).
+        """
+        if self._count <= 0:
+            raise SimulatorAssertion(
+                self._fabric.cycle, "Free List underflow (pop from empty)"
+            )
+        value = self._array[self._head]
+        if self._parity is not None:
+            self._parity.on_read(self._head, value, self._fabric.cycle)
+        if self._fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE):
+            self._head = (self._head + 1) % self.capacity
+            self._count -= 1
+            for obs in self._observers:
+                obs.fl_read(value)
+        return value
+
+    def push(self, pdst: int) -> None:
+        """Reclaim one PdstID.
+
+        If the write enable was suppressed by a bug, the value is dropped
+        (leakage) and no observer event fires.
+
+        Raises:
+            SimulatorAssertion: On push to a full FIFO (reachable only after
+                a duplication bug inflates the reclaim stream).
+        """
+        if self._fabric.asserted(ArrayName.FL, SignalKind.WRITE_ENABLE):
+            if self._count >= self.capacity:
+                raise SimulatorAssertion(
+                    self._fabric.cycle, "Free List overflow (push to full)"
+                )
+            self._array[self._tail] = pdst
+            if self._parity is not None:
+                self._parity.on_write(self._tail, pdst)
+            self._tail = (self._tail + 1) % self.capacity
+            self._count += 1
+            for obs in self._observers:
+                obs.fl_write(pdst)
+
+    def corrupt_stored(self, offset: int, xor_mask: int) -> int:
+        """Fault injection: flip bits of the ``offset``-th live entry
+        (head-relative) *without* updating any parity -- an at-rest upset.
+
+        Returns the corrupted value.
+
+        Raises:
+            ValueError: If the offset is outside the live window or the
+                mask is zero.
+        """
+        if xor_mask == 0:
+            raise ValueError("xor_mask must be nonzero")
+        if not 0 <= offset < self._count:
+            raise ValueError(f"offset {offset} outside live window")
+        index = (self._head + offset) % self.capacity
+        self._array[index] ^= xor_mask
+        return self._array[index]
+
+    def contents(self) -> List[int]:
+        """Snapshot of the live FIFO contents, head first (for probes)."""
+        return [
+            self._array[(self._head + i) % self.capacity]
+            for i in range(self._count)
+        ]

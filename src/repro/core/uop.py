@@ -1,0 +1,67 @@
+"""Dynamic (in-flight) instruction state."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.instructions import Instruction
+
+
+class UopState(enum.Enum):
+    """Lifecycle of a dynamic instruction."""
+
+    FETCHED = "fetched"
+    WAITING = "waiting"
+    EXECUTING = "executing"
+    DONE = "done"
+    SQUASHED = "squashed"
+
+
+@dataclass
+class Uop:
+    """One dynamic instance of a static instruction.
+
+    Attributes:
+        seq: Global rename sequence number (allocation order).
+        pc: Static instruction index.
+        inst: The decoded instruction.
+        predicted_taken / predicted_target: Front-end speculation recorded
+            at fetch for branches.
+        src_pdsts: Physical sources captured at rename from the (possibly
+            bug-corrupted) RAT.
+        pdst: Allocated physical destination, or None.
+        evicted_pdst: Previous RAT mapping recorded into the ROB.
+        state: Lifecycle state.
+        result: Writeback value (for dest-writing uops) or OUT payload.
+        mem_address: Effective address for loads/stores once computed.
+        taken / actual_target: Branch resolution outcome.
+        fault: Faulting address detected at execute, raised at commit.
+        fetch_cycle / done_cycle: Timestamps for statistics.
+    """
+
+    seq: int
+    pc: int
+    inst: Instruction
+    predicted_taken: bool = False
+    predicted_target: int = 0
+    pred_state: int = 0
+    src_pdsts: List[int] = field(default_factory=list)
+    pdst: Optional[int] = None
+    evicted_pdst: Optional[int] = None
+    state: UopState = UopState.FETCHED
+    result: int = 0
+    mem_address: Optional[int] = None
+    taken: bool = False
+    actual_target: int = 0
+    fault: Optional[int] = None
+    fetch_cycle: int = 0
+    done_cycle: int = 0
+
+    @property
+    def live(self) -> bool:
+        return self.state is not UopState.SQUASHED
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"uop#{self.seq} pc={self.pc} {self.inst} [{self.state.value}]"

@@ -1,0 +1,88 @@
+"""The bit-vector (BV) alternative scheme the paper compares against.
+
+Section V.E: "a bit-vector that has as many bits as unique Pdsts... The bit
+position corresponding to a Pdst is set when its PdstID is freed and unset
+when allocated. Duplication is detected when a PdstID becomes free, and its
+bit is already set. Leakage is detected by counting the number of free
+registers... when the pipeline is empty and checking that it is equal to
+the difference between the number of physical and logical registers."
+
+The scheme's structural weaknesses are exactly what Figure 10 measures:
+detection waits for a reclamation or a quiescent pipeline (unbounded
+latency), and bug activations whose effect is repaired before either event
+(e.g. wrong-path leakage recovered through the RHT) are never seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class BVDetection:
+    """One BV-scheme alarm."""
+
+    cycle: int
+    kind: str  # "duplication" or "leakage"
+    pdst: Optional[int] = None
+    free_count: Optional[int] = None
+
+
+from repro.core.rrs.ports import RRSObserver
+
+
+class BitVectorScheme(RRSObserver):
+    """Free/allocated bit per physical register with quiescent leak probe."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._bits: List[bool] = []
+        self._expected_free = 0
+        self.detections: List[BVDetection] = []
+        self._cycle = 0
+
+    def power_on(self, num_physical, num_logical, initial_free, initial_rat):
+        self._bits = [False] * num_physical
+        for pdst in initial_free:
+            self._bits[pdst] = True
+        self._expected_free = num_physical - num_logical
+        self.detections = []
+        self._cycle = 1
+
+    def cycle_end(self, cycle: int) -> None:
+        # Port events arrive before their cycle's cycle_end; stamp them with
+        # the upcoming cycle number.
+        self._cycle = cycle + 1
+
+    def fl_read(self, pdst: int) -> None:
+        # Allocation clears the free bit.
+        if 0 <= pdst < len(self._bits):
+            self._bits[pdst] = False
+
+    def fl_write(self, pdst: int) -> None:
+        # Reclamation with the bit already set is a duplication.
+        if not 0 <= pdst < len(self._bits):
+            return
+        if self._bits[pdst] and self.enabled:
+            self.detections.append(
+                BVDetection(self._cycle, "duplication", pdst=pdst)
+            )
+        self._bits[pdst] = True
+
+    def pipeline_empty(self, cycle: int) -> None:
+        if not self.enabled:
+            return
+        free = sum(self._bits)
+        if free != self._expected_free:
+            self.detections.append(
+                BVDetection(cycle, "leakage", free_count=free)
+            )
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def first_detection_cycle(self) -> Optional[int]:
+        return self.detections[0].cycle if self.detections else None

@@ -1,0 +1,217 @@
+"""IDLD: the paper's instantaneous leakage/duplication checker.
+
+The scheme (Section V.B, Figure 6) keeps one XOR register per tracked
+array -- FL\\ :sub:`XOR`, RAT\\ :sub:`XOR`, ROB\\ :sub:`XOR` -- each folded
+with every PdstID its array's ports insert or remove. The central
+invariance is that a PdstID read from one array is written to another by
+cycle end, so::
+
+    FLxor ^ RATxor ^ ROBxor == K     (K = 0 for power-of-two Pdst counts)
+
+holds at the end of every cycle outside flush recovery. Each XOR register
+is ``pdst_bits + 1`` wide: identifiers are logically extended with a
+constant 1 bit so that PdstID 0 is visible to the code (Section V.D).
+
+Flush handling (Section V.C):
+
+* RATxor and ROBxor are checkpointed alongside each RAT checkpoint and
+  restored with it; the positive RHT walk then replays through the regular
+  RAT port, updating RATxor, while each walk eviction is folded back into
+  ROBxor ("the ROBxor is also recovered and walked with the PdstIDs evicted
+  from the RAT during positive reclamation").
+* Commits fold the reclaimed PdstID out of every *younger* checkpointed
+  ROBxor so a later restore reflects entries that already left the ROB
+  (a few XOR gates per checkpoint slot in hardware).
+* FLxor needs no special handling: negative-walk returns flow through the
+  regular FL write port.
+* Checks are suspended while the recovery flow is in progress.
+
+Because every XOR update is gated by the same control signal as the array
+action it mirrors (the arrays only emit events for actions that actually
+happened), a suppressed enable breaks the read/write pairing and the code
+goes nonzero in the very cycle the bug perturbs the PdstID flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.rrs.ports import RRSObserver
+from repro.idld.codes import expected_constant, extend, extension_bit, xor_fold
+
+
+@dataclass
+class Violation:
+    """One detected invariance violation."""
+
+    cycle: int
+    fl_xor: int
+    rat_xor: int
+    rob_xor: int
+    syndrome: int
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"IDLD violation @cycle {self.cycle}: syndrome={self.syndrome:#x} "
+            f"(FL={self.fl_xor:#x} RAT={self.rat_xor:#x} ROB={self.rob_xor:#x})"
+        )
+
+
+@dataclass
+class _CheckpointMirror:
+    """Per-CKPT-slot shadow state: position + checkpointed XORs."""
+
+    pos: int = -1
+    rat_xor: int = 0
+    rob_xor: int = 0
+    valid: bool = False
+
+
+class IDLDChecker(RRSObserver):
+    """The IDLD hardware, as an observer over the RRS ports.
+
+    Attributes:
+        enabled: The "chicken bit" (Section V.B): when False the checker
+            keeps its XOR state but never raises a violation.
+        violations: Every end-of-cycle check failure, in order.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.fl_xor = 0
+        self.rat_xor = 0
+        self.rob_xor = 0
+        self._ext_bit = 2
+        self._expected = 0
+        self._in_recovery = False
+        self._mirrors: Dict[int, _CheckpointMirror] = {}
+        self.violations: List[Violation] = []
+
+    # -- reset -------------------------------------------------------------------
+
+    def power_on(self, num_physical, num_logical, initial_free, initial_rat):
+        self._ext_bit = extension_bit(num_physical)
+        self._expected = expected_constant(num_physical)
+        self.fl_xor = xor_fold(initial_free, self._ext_bit)
+        self.rat_xor = xor_fold(initial_rat, self._ext_bit)
+        self.rob_xor = 0
+        self._in_recovery = False
+        self._mirrors = {}
+        self.violations = []
+
+    # -- port taps -------------------------------------------------------------------
+
+    def fl_read(self, pdst: int) -> None:
+        self.fl_xor ^= extend(pdst, self._ext_bit)
+
+    def fl_write(self, pdst: int) -> None:
+        self.fl_xor ^= extend(pdst, self._ext_bit)
+
+    def rat_write(self, ldst: int, old_pdst: int, new_pdst: int) -> None:
+        self.rat_xor ^= extend(old_pdst, self._ext_bit) ^ extend(
+            new_pdst, self._ext_bit
+        )
+        if self._in_recovery:
+            # Positive-walk reclamation: the evicted PdstID re-enters the
+            # recovered ROBxor (Section V.C).
+            self.rob_xor ^= extend(old_pdst, self._ext_bit)
+
+    def rat_write_zero_idiom(self, ldst: int, old_pdst: int) -> None:
+        # Section V.E: the duplicate-marking signal keeps the shared zero
+        # register out of the code; only the eviction is tracked.
+        self.rat_xor ^= extend(old_pdst, self._ext_bit)
+        if self._in_recovery:
+            self.rob_xor ^= extend(old_pdst, self._ext_bit)
+
+    def rat_write_over_zero(self, ldst: int, new_pdst: int) -> None:
+        # The shared zero register leaves the RAT entry: only the inserted
+        # identifier is tracked.
+        self.rat_xor ^= extend(new_pdst, self._ext_bit)
+
+    def rob_pdst_write(self, pdst: int, seq: int) -> None:
+        self.rob_xor ^= extend(pdst, self._ext_bit)
+
+    def rob_pdst_read(self, pdst: int, seq: int) -> None:
+        # Every live checkpointed ROBxor folds the commit-reclaim bus too:
+        # for a checkpoint younger than the committing entry this removes an
+        # id the capture included; for an older (anchor) checkpoint it
+        # pre-compensates the positive walk, which will replay the eviction
+        # of this already-committed entry after a restore.
+        code = extend(pdst, self._ext_bit)
+        self.rob_xor ^= code
+        for mirror in self._mirrors.values():
+            if mirror.valid:
+                mirror.rob_xor ^= code
+
+    # -- recovery / checkpoints ----------------------------------------------------------
+
+    def recovery_begin(self, cycle: int) -> None:
+        self._in_recovery = True
+
+    def recovery_end(self, cycle: int) -> None:
+        # "Cost-effective debugging of multi-cycle RRS flows... by simply
+        # checking that IDLD's invariance is maintained after each execution
+        # of such flows" (Section V.C): evaluate at the flow boundary itself,
+        # so a violation cannot hide between back-to-back recoveries.
+        self._in_recovery = False
+        self._check(cycle)
+
+    def _mirror(self, slot: int) -> _CheckpointMirror:
+        if slot not in self._mirrors:
+            self._mirrors[slot] = _CheckpointMirror()
+        return self._mirrors[slot]
+
+    def checkpoint_content(self, slot: int, pos: int) -> None:
+        mirror = self._mirror(slot)
+        mirror.rat_xor = self.rat_xor
+        mirror.rob_xor = self.rob_xor
+        mirror.pos = pos
+        mirror.valid = True
+
+    def checkpoint_meta(self, slot: int, pos: int) -> None:
+        # Metadata advances even when the content capture was suppressed by
+        # a bug; the stale XORs stay, mirroring the stale RAT image.
+        mirror = self._mirror(slot)
+        mirror.pos = pos
+        mirror.valid = True
+
+    def checkpoint_restored(self, slot: int) -> None:
+        mirror = self._mirror(slot)
+        self.rat_xor = mirror.rat_xor
+        self.rob_xor = mirror.rob_xor
+
+    def checkpoint_freed(self, slot: int) -> None:
+        if slot in self._mirrors:
+            self._mirrors[slot].valid = False
+
+    # -- the check -----------------------------------------------------------------------
+
+    @property
+    def syndrome(self) -> int:
+        """Current deviation of the code from the invariant constant."""
+        return self.fl_xor ^ self.rat_xor ^ self.rob_xor ^ self._expected
+
+    def cycle_end(self, cycle: int) -> None:
+        if self._in_recovery:
+            return
+        self._check(cycle)
+
+    def _check(self, cycle: int) -> None:
+        if not self.enabled:
+            return
+        syndrome = self.syndrome
+        if syndrome != 0:
+            self.violations.append(
+                Violation(cycle, self.fl_xor, self.rat_xor, self.rob_xor, syndrome)
+            )
+
+    # -- results ---------------------------------------------------------------------------
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.violations)
+
+    @property
+    def first_detection_cycle(self) -> Optional[int]:
+        return self.violations[0].cycle if self.violations else None

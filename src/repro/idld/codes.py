@@ -1,0 +1,40 @@
+"""XOR-code algebra shared by the IDLD checkers.
+
+Section V.D: "if the PdstID with value 0 gets duplicated or leaked, the
+proposed scheme will not detect it (XOR with zero does not cause a change).
+This can be fixed by logically extending all the PdstIDs by one bit with
+value 1. This bit should not be stored in the arrays but only used as an
+input constant in the XOR calculation."
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable
+
+
+def extension_bit(num_physical_regs: int) -> int:
+    """The constant-1 extension bit position for a given register count."""
+    bits = max(1, (num_physical_regs - 1).bit_length())
+    return 1 << bits
+
+
+def extend(pdst: int, ext_bit: int) -> int:
+    """Logically extend a PdstID with the constant-1 bit."""
+    return pdst | ext_bit
+
+
+def xor_fold(ids: Iterable[int], ext_bit: int) -> int:
+    """XOR of a collection of extended PdstIDs."""
+    return reduce(lambda acc, pdst: acc ^ extend(pdst, ext_bit), ids, 0)
+
+
+def expected_constant(num_physical_regs: int) -> int:
+    """The invariant constant: XOR of every extended PdstID exactly once.
+
+    Zero for power-of-two register counts (the paper's 128-register design
+    checks against literal zero); nonzero otherwise, which the checker
+    handles transparently.
+    """
+    ext_bit = extension_bit(num_physical_regs)
+    return xor_fold(range(num_physical_regs), ext_bit)

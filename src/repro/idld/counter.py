@@ -1,0 +1,64 @@
+"""The counting alternative scheme of Section V.E.
+
+"Another way to track the PdstID-invariance is by counting the number of
+free and allocated registers and checking that their sum is equal to the
+number of unique Pdsts... However, unlike IDLD, this scheme cannot detect a
+combined duplication and leakage, since the total number of PdstIDs remains
+invariant (x+1-1=x). Further, it cannot capture corruption in a PdstID."
+
+The ablation bench (`benchmarks/test_ablation_alternatives.py`) measures
+exactly these blind spots against IDLD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.rrs.ports import RRSObserver
+
+
+@dataclass
+class CounterDetection:
+    """One counter-scheme alarm (free count off at a quiescent point)."""
+
+    cycle: int
+    free_count: int
+    expected: int
+
+
+class CounterScheme(RRSObserver):
+    """log2(#Pdsts)-bit free-register counter, checked at quiescence."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._free = 0
+        self._expected_free = 0
+        self.detections: List[CounterDetection] = []
+
+    def power_on(self, num_physical, num_logical, initial_free, initial_rat):
+        self._free = len(initial_free)
+        self._expected_free = num_physical - num_logical
+        self.detections = []
+
+    def fl_read(self, pdst: int) -> None:
+        self._free -= 1
+
+    def fl_write(self, pdst: int) -> None:
+        self._free += 1
+
+    def pipeline_empty(self, cycle: int) -> None:
+        if not self.enabled:
+            return
+        if self._free != self._expected_free:
+            self.detections.append(
+                CounterDetection(cycle, self._free, self._expected_free)
+            )
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def first_detection_cycle(self) -> Optional[int]:
+        return self.detections[0].cycle if self.detections else None

@@ -1,0 +1,45 @@
+"""Traditional end-of-test checking (the industry baseline of Figure 9).
+
+"Current industry post-silicon validation methods mainly rely either on
+comparing the results of a program's execution to simulation-based
+reference/golden models, or on using multi-pass consistency end-of-test
+results" (Section I). The flow observes only what is externally visible
+when the test finishes: a wrong output, or an abort (crash / assert /
+overrun). Bug activations masked by later correct operation pass silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.outcomes import OBSERVABLE, OutcomeClass
+
+
+@dataclass
+class EndOfTestVerdict:
+    """What the end-of-test comparison concluded for one buggy run."""
+
+    detected: bool
+    #: Cycle at which detection becomes possible: the end of the run (or
+    #: the abort cycle). None when undetected.
+    detection_cycle: Optional[int]
+
+
+def end_of_test_check(
+    outcome: OutcomeClass, final_cycle: int
+) -> EndOfTestVerdict:
+    """Apply the traditional end-of-test criterion to a classified run.
+
+    Args:
+        outcome: The run's bug-effect class.
+        final_cycle: The cycle the run ended (normally or by abort).
+
+    Returns:
+        Detected iff the outcome is externally observable; the detection
+        latency is always the full remaining run -- the checking phase only
+        happens after the test completes.
+    """
+    if outcome in OBSERVABLE:
+        return EndOfTestVerdict(True, final_cycle)
+    return EndOfTestVerdict(False, None)

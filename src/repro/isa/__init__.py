@@ -1,0 +1,46 @@
+"""Mini RISC ISA used by the cycle-level out-of-order core.
+
+The paper evaluates on gem5/x86-64; this repo substitutes a compact
+register-to-register ISA that is sufficient to express the MiBench-analog
+workloads (see :mod:`repro.workloads`) while keeping the rename-relevant
+structure identical: every value-producing instruction names one logical
+destination register that must be renamed, loads/stores access a flat
+word-addressed memory, and conditional branches create the speculation the
+register renaming subsystem has to recover from.
+
+Public API
+----------
+``Opcode``            -- enumeration of all instructions.
+``Instruction``       -- a decoded instruction (immutable).
+``Program``           -- instructions + initial memory image + metadata.
+``assemble``          -- two-pass assembler from text to :class:`Program`.
+``ProgramBuilder``    -- programmatic construction of :class:`Program`.
+``execute_op``        -- pure functional semantics of one ALU operation.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    BRANCH_OPCODES,
+    MEMORY_OPCODES,
+    NUM_LOGICAL_REGS,
+    WORD_MASK,
+)
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.semantics import execute_op, to_signed
+
+__all__ = [
+    "AssemblerError",
+    "BRANCH_OPCODES",
+    "Instruction",
+    "MEMORY_OPCODES",
+    "NUM_LOGICAL_REGS",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "WORD_MASK",
+    "assemble",
+    "execute_op",
+    "to_signed",
+]

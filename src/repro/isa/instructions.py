@@ -1,0 +1,219 @@
+"""Instruction definitions for the mini ISA.
+
+The ISA is deliberately small but spans the behaviours that matter to the
+register renaming subsystem (RRS):
+
+* value-producing ALU/immediate/load instructions (rename a destination),
+* stores and OUT (read sources, no destination -> no Pdst allocation),
+* conditional branches (speculation, wrong-path rename, flush recovery),
+* HALT (end of program).
+
+Registers are ``r0`` .. ``r31``; all 32 are general purpose and renamable.
+Words are 64-bit two's-complement values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Number of architectural (logical) registers the RAT maps.
+NUM_LOGICAL_REGS = 32
+
+#: All arithmetic is performed modulo 2**64.
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class Opcode(enum.Enum):
+    """Every instruction understood by the core."""
+
+    # Register-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLTU = "sltu"
+    # Register-immediate ALU.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SLTI = "slti"
+    LI = "li"
+    # Memory.
+    LD = "ld"
+    ST = "st"
+    # Control flow.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    # Miscellaneous.
+    OUT = "out"
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Opcodes that redirect control flow conditionally.
+BRANCH_OPCODES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+)
+
+#: Opcodes that access data memory.
+MEMORY_OPCODES = frozenset({Opcode.LD, Opcode.ST})
+
+#: Opcodes that produce a register value and therefore require a Pdst.
+_DEST_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.SLT,
+        Opcode.SLTU,
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.SLTI,
+        Opcode.LI,
+        Opcode.LD,
+    }
+)
+
+#: Opcodes whose second operand is an immediate rather than a register.
+_IMMEDIATE_OPCODES = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.SLTI,
+        Opcode.LI,
+        Opcode.LD,
+        Opcode.ST,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Attributes:
+        opcode: The operation.
+        rd: Logical destination register, or ``None`` for instructions that
+            do not write a register (stores, branches, OUT, NOP, HALT, JMP).
+        rs1: First logical source register, or ``None``.
+        rs2: Second logical source register, or ``None``.
+        imm: Immediate operand (sign interpreted per opcode), or ``None``.
+        target: Branch/jump target expressed as an instruction index into
+            the program, or ``None`` for non-control-flow instructions.
+        label: Optional source-level label for diagnostics.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    target: Optional[int] = None
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            reg = getattr(self, name)
+            if reg is not None and not 0 <= reg < NUM_LOGICAL_REGS:
+                raise ValueError(
+                    f"{name}={reg} out of range for {self.opcode.value}"
+                )
+        if self.writes_register and self.rd is None:
+            raise ValueError(f"{self.opcode.value} requires a destination")
+
+    @property
+    def writes_register(self) -> bool:
+        """True when this instruction allocates a physical register."""
+        return self.opcode in _DEST_OPCODES
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional branches (speculated by the front end)."""
+        return self.opcode in BRANCH_OPCODES
+
+    @property
+    def is_jump(self) -> bool:
+        """True for the unconditional jump."""
+        return self.opcode is Opcode.JMP
+
+    @property
+    def is_control_flow(self) -> bool:
+        """True for any instruction that can redirect the PC."""
+        return self.is_branch or self.is_jump
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.ST
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LD
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode is Opcode.HALT
+
+    @property
+    def uses_immediate(self) -> bool:
+        return self.opcode in _IMMEDIATE_OPCODES
+
+    def source_registers(self) -> Tuple[int, ...]:
+        """Logical source registers read by this instruction, in order."""
+        sources = []
+        if self.rs1 is not None:
+            sources.append(self.rs1)
+        if self.rs2 is not None:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        parts = [self.opcode.value]
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        if self.rs1 is not None:
+            parts.append(f"r{self.rs1}")
+        if self.rs2 is not None:
+            parts.append(f"r{self.rs2}")
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        return " ".join(parts)

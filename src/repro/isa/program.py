@@ -1,0 +1,240 @@
+"""Program container and programmatic builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Instruction, Opcode, WORD_MASK
+
+
+@dataclass
+class Program:
+    """An assembled program: code, initial memory image, and metadata.
+
+    Attributes:
+        instructions: The instruction sequence; branch targets are indices
+            into this list.
+        initial_memory: Sparse word-addressed initial data image.
+        name: Human-readable program name (used in reports).
+        labels: Map of source label -> instruction index.
+    """
+
+    instructions: List[Instruction]
+    initial_memory: Dict[int, int] = field(default_factory=dict)
+    name: str = "program"
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.instructions)
+        for i, inst in enumerate(self.instructions):
+            if inst.is_control_flow:
+                if inst.target is None or not 0 <= inst.target < n:
+                    raise ValueError(
+                        f"{self.name}: instruction {i} ({inst}) has invalid "
+                        f"target {inst.target}"
+                    )
+        for addr, value in self.initial_memory.items():
+            if addr < 0:
+                raise ValueError(f"{self.name}: negative data address {addr}")
+            self.initial_memory[addr] = value & WORD_MASK
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def static_branch_count(self) -> int:
+        """Number of static conditional branches (diversity metric)."""
+        return sum(1 for inst in self.instructions if inst.is_branch)
+
+    def static_store_count(self) -> int:
+        """Number of static store instructions."""
+        return sum(1 for inst in self.instructions if inst.is_store)
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program` from Python.
+
+    Example::
+
+        b = ProgramBuilder("count")
+        b.li(1, 0)
+        b.label("loop")
+        b.addi(1, 1, 1)
+        b.li(2, 10)
+        b.blt(1, 2, "loop")
+        b.out(1)
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._instructions: List[Tuple] = []
+        self._labels: Dict[str, int] = {}
+        self._memory: Dict[int, int] = {}
+
+    # -- structural helpers -------------------------------------------------
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Attach a label to the next emitted instruction."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def data(self, addr: int, values: Sequence[int]) -> "ProgramBuilder":
+        """Place ``values`` at consecutive word addresses starting at addr."""
+        for offset, value in enumerate(values):
+            self._memory[addr + offset] = value & WORD_MASK
+        return self
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        rd: Optional[int] = None,
+        rs1: Optional[int] = None,
+        rs2: Optional[int] = None,
+        imm: Optional[int] = None,
+        target_label: Optional[str] = None,
+    ) -> "ProgramBuilder":
+        self._instructions.append((opcode, rd, rs1, rs2, imm, target_label))
+        return self
+
+    # -- ALU -----------------------------------------------------------------
+
+    def add(self, rd, rs1, rs2):
+        return self._emit(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._emit(Opcode.SUB, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        return self._emit(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._emit(Opcode.DIV, rd, rs1, rs2)
+
+    def rem(self, rd, rs1, rs2):
+        return self._emit(Opcode.REM, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._emit(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._emit(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._emit(Opcode.XOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        return self._emit(Opcode.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        return self._emit(Opcode.SRL, rd, rs1, rs2)
+
+    def sra(self, rd, rs1, rs2):
+        return self._emit(Opcode.SRA, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._emit(Opcode.SLT, rd, rs1, rs2)
+
+    def sltu(self, rd, rs1, rs2):
+        return self._emit(Opcode.SLTU, rd, rs1, rs2)
+
+    # -- immediates -----------------------------------------------------------
+
+    def addi(self, rd, rs1, imm):
+        return self._emit(Opcode.ADDI, rd, rs1, imm=imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._emit(Opcode.ANDI, rd, rs1, imm=imm)
+
+    def ori(self, rd, rs1, imm):
+        return self._emit(Opcode.ORI, rd, rs1, imm=imm)
+
+    def xori(self, rd, rs1, imm):
+        return self._emit(Opcode.XORI, rd, rs1, imm=imm)
+
+    def slli(self, rd, rs1, imm):
+        return self._emit(Opcode.SLLI, rd, rs1, imm=imm)
+
+    def srli(self, rd, rs1, imm):
+        return self._emit(Opcode.SRLI, rd, rs1, imm=imm)
+
+    def slti(self, rd, rs1, imm):
+        return self._emit(Opcode.SLTI, rd, rs1, imm=imm)
+
+    def li(self, rd, imm):
+        return self._emit(Opcode.LI, rd, imm=imm)
+
+    # -- memory ----------------------------------------------------------------
+
+    def ld(self, rd, rs1, imm=0):
+        return self._emit(Opcode.LD, rd, rs1, imm=imm)
+
+    def st(self, rs1, rs2, imm=0):
+        """Store rs2 to mem[rs1 + imm]."""
+        return self._emit(Opcode.ST, rs1=rs1, rs2=rs2, imm=imm)
+
+    # -- control flow ------------------------------------------------------------
+
+    def beq(self, rs1, rs2, label):
+        return self._emit(Opcode.BEQ, rs1=rs1, rs2=rs2, target_label=label)
+
+    def bne(self, rs1, rs2, label):
+        return self._emit(Opcode.BNE, rs1=rs1, rs2=rs2, target_label=label)
+
+    def blt(self, rs1, rs2, label):
+        return self._emit(Opcode.BLT, rs1=rs1, rs2=rs2, target_label=label)
+
+    def bge(self, rs1, rs2, label):
+        return self._emit(Opcode.BGE, rs1=rs1, rs2=rs2, target_label=label)
+
+    def jmp(self, label):
+        return self._emit(Opcode.JMP, target_label=label)
+
+    # -- misc -------------------------------------------------------------------
+
+    def out(self, rs1):
+        return self._emit(Opcode.OUT, rs1=rs1)
+
+    def nop(self):
+        return self._emit(Opcode.NOP)
+
+    def halt(self):
+        return self._emit(Opcode.HALT)
+
+    # -- finalization -------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and produce the immutable :class:`Program`.
+
+        Raises:
+            ValueError: For unresolved labels or labels past end of code.
+        """
+        instructions = []
+        for opcode, rd, rs1, rs2, imm, target_label in self._instructions:
+            target = None
+            if target_label is not None:
+                if target_label not in self._labels:
+                    raise ValueError(
+                        f"{self.name}: undefined label {target_label!r}"
+                    )
+                target = self._labels[target_label]
+            instructions.append(
+                Instruction(
+                    opcode,
+                    rd=rd,
+                    rs1=rs1,
+                    rs2=rs2,
+                    imm=imm,
+                    target=target,
+                    label=target_label or "",
+                )
+            )
+        return Program(
+            instructions,
+            initial_memory=dict(self._memory),
+            name=self.name,
+            labels=dict(self._labels),
+        )

@@ -1,0 +1,181 @@
+"""Pure functional semantics of the mini ISA.
+
+The execute stage of the core calls :func:`execute_op` with already-read
+operand values; keeping semantics side-effect free makes the pipeline model
+easy to test and lets the golden (functional) reference interpreter share
+the exact same arithmetic as the cycle-level core.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Opcode, WORD_MASK, WORD_BITS
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit word as a two's-complement signed integer."""
+    value &= WORD_MASK
+    if value >= 1 << (WORD_BITS - 1):
+        return value - (1 << WORD_BITS)
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Clamp an arbitrary Python int to a 64-bit word."""
+    return value & WORD_MASK
+
+
+def _shift_amount(value: int) -> int:
+    """Shift amounts use the low 6 bits, like RV64."""
+    return value & (WORD_BITS - 1)
+
+
+def execute_op(opcode: Opcode, a: int, b: int) -> int:
+    """Compute the 64-bit result of an ALU operation.
+
+    Args:
+        opcode: Which operation; must be a value-producing ALU opcode
+            (immediate forms receive the immediate in ``b``).
+        a: First operand as an unsigned 64-bit word.
+        b: Second operand (register value or immediate) as a word.
+
+    Returns:
+        The unsigned 64-bit result.
+
+    Raises:
+        ValueError: If ``opcode`` has no ALU semantics (e.g. branches).
+    """
+    a &= WORD_MASK
+    b &= WORD_MASK
+    if opcode in (Opcode.ADD, Opcode.ADDI):
+        return (a + b) & WORD_MASK
+    if opcode is Opcode.SUB:
+        return (a - b) & WORD_MASK
+    if opcode is Opcode.MUL:
+        return (a * b) & WORD_MASK
+    if opcode is Opcode.DIV:
+        # Division by zero yields all-ones, mirroring RISC-V semantics; the
+        # core must never raise on data values.
+        if b == 0:
+            return WORD_MASK
+        return to_unsigned(int(to_signed(a) / to_signed(b)) if to_signed(b) != 0 else -1)
+    if opcode is Opcode.REM:
+        if b == 0:
+            return a
+        sa, sb = to_signed(a), to_signed(b)
+        return to_unsigned(sa - int(sa / sb) * sb)
+    if opcode in (Opcode.AND, Opcode.ANDI):
+        return a & b
+    if opcode in (Opcode.OR, Opcode.ORI):
+        return a | b
+    if opcode in (Opcode.XOR, Opcode.XORI):
+        return a ^ b
+    if opcode in (Opcode.SLL, Opcode.SLLI):
+        return (a << _shift_amount(b)) & WORD_MASK
+    if opcode in (Opcode.SRL, Opcode.SRLI):
+        return a >> _shift_amount(b)
+    if opcode is Opcode.SRA:
+        return to_unsigned(to_signed(a) >> _shift_amount(b))
+    if opcode in (Opcode.SLT, Opcode.SLTI):
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if opcode is Opcode.SLTU:
+        return 1 if a < b else 0
+    if opcode is Opcode.LI:
+        return b
+    raise ValueError(f"{opcode.value} has no ALU semantics")
+
+
+def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
+    """Evaluate a conditional branch's condition.
+
+    Args:
+        opcode: One of BEQ/BNE/BLT/BGE.
+        a: First source value (unsigned word).
+        b: Second source value (unsigned word).
+
+    Returns:
+        True when the branch is taken.
+
+    Raises:
+        ValueError: If ``opcode`` is not a conditional branch.
+    """
+    a &= WORD_MASK
+    b &= WORD_MASK
+    if opcode is Opcode.BEQ:
+        return a == b
+    if opcode is Opcode.BNE:
+        return a != b
+    if opcode is Opcode.BLT:
+        return to_signed(a) < to_signed(b)
+    if opcode is Opcode.BGE:
+        return to_signed(a) >= to_signed(b)
+    raise ValueError(f"{opcode.value} is not a conditional branch")
+
+
+def reference_run(program, max_steps: int = 10_000_000):
+    """Architectural (non-pipelined) reference interpreter.
+
+    Used by tests to validate that the cycle-level core commits the same
+    architectural results, and by the workload suite to compute expected
+    outputs.
+
+    Args:
+        program: A :class:`repro.isa.Program`.
+        max_steps: Safety bound on executed instructions.
+
+    Returns:
+        Tuple of (output list, final register list, executed instruction
+        count).
+
+    Raises:
+        RuntimeError: If the program does not halt within ``max_steps``.
+    """
+    regs = [0] * 32
+    memory = dict(program.initial_memory)
+    output = []
+    pc = 0
+    steps = 0
+    instructions = program.instructions
+    while 0 <= pc < len(instructions):
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(f"reference run exceeded {max_steps} steps")
+        inst = instructions[pc]
+        op = inst.opcode
+        if inst.is_halt:
+            break
+        if op is Opcode.NOP:
+            pc += 1
+            continue
+        if op is Opcode.OUT:
+            output.append(regs[inst.rs1] & WORD_MASK)
+            pc += 1
+            continue
+        if op is Opcode.JMP:
+            pc = inst.target
+            continue
+        if inst.is_branch:
+            if branch_taken(op, regs[inst.rs1], regs[inst.rs2]):
+                pc = inst.target
+            else:
+                pc += 1
+            continue
+        if op is Opcode.LD:
+            addr = (regs[inst.rs1] + inst.imm) & WORD_MASK
+            regs[inst.rd] = memory.get(addr, 0)
+            pc += 1
+            continue
+        if op is Opcode.ST:
+            addr = (regs[inst.rs1] + inst.imm) & WORD_MASK
+            memory[addr] = regs[inst.rs2] & WORD_MASK
+            pc += 1
+            continue
+        # Plain ALU.
+        if inst.uses_immediate:
+            b = inst.imm & WORD_MASK
+            a = regs[inst.rs1] if inst.rs1 is not None else 0
+        else:
+            a = regs[inst.rs1]
+            b = regs[inst.rs2]
+        regs[inst.rd] = execute_op(op, a, b)
+        pc += 1
+    return output, regs, steps

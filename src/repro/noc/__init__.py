@@ -1,0 +1,21 @@
+"""Credit-based NoC link: the generic-flow use case of Section V.F."""
+
+from repro.noc.link import (
+    CreditLink,
+    Flit,
+    LinkAssertion,
+    LinkStats,
+    run_traffic,
+)
+from repro.noc.signals import ArmedNocSuppression, NocSignal, NocSignalFabric
+
+__all__ = [
+    "ArmedNocSuppression",
+    "CreditLink",
+    "Flit",
+    "LinkAssertion",
+    "LinkStats",
+    "NocSignal",
+    "NocSignalFabric",
+    "run_traffic",
+]

@@ -1,0 +1,57 @@
+"""Structural 45 nm area/energy cost model for Table II."""
+
+from repro.rtl.cells import Cell, LIBRARY, PLACEMENT_OVERHEAD
+from repro.rtl.components import (
+    Macro,
+    Netlist,
+    comparator,
+    fifo_port,
+    flop_array,
+    priority_mux,
+    read_port,
+    write_port,
+    xor_tree,
+    zero_check,
+)
+from repro.rtl.report import (
+    RRS_CORE_AREA_FRACTION,
+    format_table_ii,
+    table_ii_report,
+    whole_core_overhead,
+)
+from repro.rtl.rrs_design import (
+    DesignPoint,
+    PAPER_TABLE_II,
+    baseline_rrs,
+    evaluate_width,
+    idld_extension,
+    port_sharing,
+    sweep_widths,
+)
+
+__all__ = [
+    "Cell",
+    "DesignPoint",
+    "LIBRARY",
+    "Macro",
+    "Netlist",
+    "PAPER_TABLE_II",
+    "PLACEMENT_OVERHEAD",
+    "RRS_CORE_AREA_FRACTION",
+    "baseline_rrs",
+    "comparator",
+    "evaluate_width",
+    "fifo_port",
+    "flop_array",
+    "format_table_ii",
+    "idld_extension",
+    "port_sharing",
+    "priority_mux",
+    "read_port",
+    "sweep_widths",
+    "table_ii_report",
+    "whole_core_overhead",
+    "write_port",
+    "xor_tree",
+    "zero_check",
+]

@@ -1,0 +1,154 @@
+"""Structural macros the RRS netlist is assembled from.
+
+Each macro reports ``area_um2`` (cells x library area, before placement
+overhead) and ``energy_pj`` (per *average active cycle*, given an activity
+figure supplied by the design). The port models follow standard-cell-
+memory practice: a read port is a per-bit mux tree over the entries, a
+write port is an address decoder plus per-entry clock-gate enables, and a
+FIFO port replaces the decoder with a pointer register + increment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.rtl.cells import CLOCK_ACTIVITY, LIBRARY
+
+
+def _log2ceil(value: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, value))))
+
+
+@dataclass
+class Macro:
+    """Base: a named component with cell counts."""
+
+    name: str
+    cells: Dict[str, float] = field(default_factory=dict)
+    #: average activations of this macro per cycle (scales dynamic energy)
+    activity: float = 1.0
+
+    def add(self, cell: str, count: float) -> None:
+        self.cells[cell] = self.cells.get(cell, 0.0) + count
+
+    @property
+    def area_um2(self) -> float:
+        return sum(LIBRARY[c].area_um2 * n for c, n in self.cells.items())
+
+    @property
+    def energy_pj(self) -> float:
+        return self.activity * sum(
+            LIBRARY[c].energy_pj * n for c, n in self.cells.items()
+        )
+
+
+def flop_array(name: str, entries: int, bits: int, activity: float) -> Macro:
+    """Clock-gated standard-cell memory storage (no ports)."""
+    macro = Macro(name, activity=activity)
+    macro.add("dff", entries * bits)
+    # One clock gate per entry row.
+    macro.add("clock_gate", entries)
+    return macro
+
+
+def read_port(name: str, entries: int, bits: int, activity: float) -> Macro:
+    """Random-access read port: per-bit mux tree over all entries."""
+    macro = Macro(name, activity=activity)
+    macro.add("mux2", (entries - 1) * bits)
+    return macro
+
+
+def write_port(name: str, entries: int, bits: int, activity: float) -> Macro:
+    """Random-access write port: decoder + per-entry enable + data fanout."""
+    macro = Macro(name, activity=activity)
+    address_bits = _log2ceil(entries)
+    macro.add("and2", entries * address_bits / 2)  # decoder
+    macro.add("and2", entries)                     # enables
+    macro.add("inv", entries * bits / 4)           # data fanout buffering
+    return macro
+
+
+def fifo_port(name: str, entries: int, bits: int, activity: float) -> Macro:
+    """FIFO read or write port: pointer register + incrementer + the
+    pointer-addressed access path (cheaper than random access)."""
+    macro = Macro(name, activity=activity)
+    pointer_bits = _log2ceil(entries)
+    macro.add("dff", pointer_bits)
+    macro.add("full_adder", pointer_bits)
+    # Pointer-addressed access path, shared-bus style.
+    macro.add("mux2", entries * bits / 8)
+    macro.add("and2", entries / 2)
+    return macro
+
+
+def comparator(name: str, bits: int, activity: float) -> Macro:
+    """Equality comparator (rename same-Ldst detection, bypass checks)."""
+    macro = Macro(name, activity=activity)
+    macro.add("xor2", bits)
+    macro.add("or2", bits - 1)
+    return macro
+
+
+def priority_mux(name: str, ways: int, bits: int, activity: float) -> Macro:
+    """Priority selection network (which allocation updates the RAT)."""
+    macro = Macro(name, activity=activity)
+    macro.add("mux2", (ways - 1) * bits)
+    macro.add("and2", ways * 2)
+    return macro
+
+
+def xor_tree(name: str, inputs: int, bits: int, activity: float) -> Macro:
+    """The IDLD folding tree: ``inputs`` extended PdstIDs XORed together.
+
+    Trees wider than 12 inputs get a pipeline register stage (the synthesis
+    flow retimes them to stay off the critical path), which is what makes
+    the IDLD area overhead step up between 2-wide and 4-wide renaming.
+    """
+    macro = Macro(name, activity=activity)
+    if inputs < 1:
+        return macro
+    macro.add("xor2", max(0, inputs - 1) * bits)
+    if inputs > 12:
+        macro.add("dff", bits * 2)  # retiming stage
+        macro.add("clock_gate", 2)
+    return macro
+
+
+def zero_check(name: str, bits: int, activity: float) -> Macro:
+    """The final ==0 comparison on the folded code."""
+    macro = Macro(name, activity=activity)
+    macro.add("or2", bits - 1)
+    macro.add("inv", 1)
+    return macro
+
+
+@dataclass
+class Netlist:
+    """A bag of macros with roll-up reporting."""
+
+    name: str
+    macros: List[Macro] = field(default_factory=list)
+
+    def add(self, macro: Macro) -> None:
+        self.macros.append(macro)
+
+    def extend(self, macros: List[Macro]) -> None:
+        self.macros.extend(macros)
+
+    def area_um2(self, placement_overhead: float = 1.35) -> float:
+        return placement_overhead * sum(m.area_um2 for m in self.macros)
+
+    def energy_pj(self) -> float:
+        # Background clock energy of storage + activity-scaled cell energy.
+        energy = 0.0
+        for macro in self.macros:
+            energy += macro.energy_pj
+            dffs = macro.cells.get("dff", 0.0)
+            energy += dffs * LIBRARY["dff"].energy_pj * CLOCK_ACTIVITY
+        return energy
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-macro area contributions (diagnostics/reporting)."""
+        return {m.name: m.area_um2 for m in self.macros}

@@ -1,0 +1,54 @@
+"""Table II formatting and the Section VI.B whole-core estimate."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.rtl.rrs_design import DesignPoint, PAPER_TABLE_II, sweep_widths
+
+#: Section VI.B: "renaming taking ~4% of the real estate" of a 2-way OoO
+#: core with a merged register file at 45 nm.
+RRS_CORE_AREA_FRACTION = 0.04
+
+
+def format_table_ii(points: Iterable[DesignPoint]) -> List[str]:
+    """Render the Table II sweep, model vs paper, one line per width."""
+    lines = [
+        "Table II -- area and energy, baseline vs IDLD "
+        "(model | paper overheads in parentheses)",
+        f"{'Ports':>5} {'Base um^2':>10} {'Base pJ':>8} "
+        f"{'IDLD um^2':>10} {'A-ovh':>7} {'(paper)':>8} "
+        f"{'IDLD pJ':>8} {'E-ovh':>7} {'(paper)':>8}",
+    ]
+    for p in points:
+        paper = PAPER_TABLE_II.get(p.width)
+        paper_area = f"({paper[2] / paper[0] - 1:.0%})" if paper else ""
+        paper_energy = f"({paper[3] / paper[1] - 1:.0%})" if paper else ""
+        lines.append(
+            f"{p.width:>5} {p.base_area_um2:>10,.0f} {p.base_energy_pj:>8.2f} "
+            f"{p.idld_area_um2:>10,.0f} {p.area_overhead:>6.1%} {paper_area:>8} "
+            f"{p.idld_energy_pj:>8.2f} {p.energy_overhead:>6.1%} {paper_energy:>8}"
+        )
+    return lines
+
+
+def whole_core_overhead(width: int = 2) -> float:
+    """Section VI.B's estimate of IDLD's whole-core area contribution.
+
+    "Given our design increases by 3% the area of a 2-way RRS at 45nm, and
+    RRS corresponds to 4% of the core area, then 4% x 3% = 0.12%."
+    """
+    from repro.rtl.rrs_design import evaluate_width
+
+    point = evaluate_width(width)
+    return RRS_CORE_AREA_FRACTION * point.area_overhead
+
+
+def table_ii_report() -> str:
+    """The complete Table II reproduction as a printable string."""
+    lines = format_table_ii(sweep_widths())
+    lines.append(
+        f"Whole-core estimate (2-way): IDLD adds "
+        f"{whole_core_overhead(2):.2%} of core area (paper: ~0.12%)"
+    )
+    return "\n".join(lines)

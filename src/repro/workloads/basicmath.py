@@ -1,0 +1,96 @@
+"""MiBench *basicmath* analog: gcd chains and Newton integer square roots.
+
+Division/remainder-heavy with long-latency units busy most of the time;
+convergence-test branches depend on iterated arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, input_words, scaled
+
+DATA_BASE = 5000
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _isqrt(v: int) -> int:
+    if v < 2:
+        return v
+    x = v
+    y = (x + 1) // 2
+    while y < x:
+        x = y
+        y = (x + v // x) // 2
+    return x
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """gcd of ``scaled(12*scale)`` pairs plus isqrt of each pair sum;
+    outputs the two accumulated sums."""
+    pairs = scaled(12, scale)
+    data = [v + 1 for v in input_words(seed, 2 * pairs, bits=14)]
+    b = ProgramBuilder("basicmath")
+    b.data(DATA_BASE, data)
+    b.li(ZERO, 0)
+    b.li(1, 0)                  # pair index
+    b.li(2, pairs)
+    b.li(3, 0)                  # gcd sum
+    b.li(4, 0)                  # isqrt sum
+    b.label("pair")
+    b.slli(5, 1, 1)
+    b.addi(5, 5, DATA_BASE)
+    b.ld(6, 5, 0)               # a
+    b.ld(7, 5, 1)               # b
+    # -- Euclid --
+    b.label("gcd")
+    b.beq(7, ZERO, "gcd_done")
+    b.rem(8, 6, 7)
+    b.add(6, 7, ZERO)
+    b.add(7, 8, ZERO)
+    b.jmp("gcd")
+    b.label("gcd_done")
+    b.add(3, 3, 6)
+    # -- Newton isqrt of a + b (reload operands) --
+    b.ld(6, 5, 0)
+    b.ld(7, 5, 1)
+    b.add(9, 6, 7)              # v
+    b.slti(10, 9, 2)
+    b.bne(10, ZERO, "small")
+    b.add(11, 9, ZERO)          # x = v
+    b.addi(12, 9, 1)
+    b.srli(12, 12, 1)           # y = (v + 1) >> 1
+    b.label("newton")
+    b.bge(12, 11, "isq_done")   # while y < x
+    b.add(11, 12, ZERO)         # x = y
+    b.div(13, 9, 11)            # v / x
+    b.add(12, 11, 13)
+    b.srli(12, 12, 1)           # y = (x + v/x) >> 1
+    b.jmp("newton")
+    b.label("small")
+    b.add(11, 9, ZERO)
+    b.label("isq_done")
+    b.add(4, 4, 11)
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "pair")
+    b.out(3)
+    b.out(4)
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python gcd/isqrt sums over the same pairs."""
+    pairs = scaled(12, scale)
+    data = [v + 1 for v in input_words(seed, 2 * pairs, bits=14)]
+    gcd_sum = 0
+    isq_sum = 0
+    for i in range(pairs):
+        a, b = data[2 * i], data[2 * i + 1]
+        gcd_sum += _gcd(a, b)
+        isq_sum += _isqrt(a + b)
+    return [gcd_sum, isq_sum]

@@ -1,0 +1,59 @@
+"""MiBench *bitcount* analog: population count over an input array.
+
+Data-dependent inner-loop trip counts make the branch predictor miss
+irregularly, exercising flush recovery throughout the run.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, input_words, scaled
+
+DATA_BASE = 1000
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """Count set bits of ``scaled(48*scale)`` words; outputs the total and a
+    per-word-parity checksum."""
+    n = scaled(48, scale)
+    data = input_words(seed, n, bits=16)
+    b = ProgramBuilder("bitcount")
+    b.data(DATA_BASE, data)
+    b.li(ZERO, 0)
+    b.li(1, 0)           # i
+    b.li(2, n)           # n
+    b.li(3, 0)           # total
+    b.li(8, 0)           # parity checksum
+    b.label("word")
+    b.addi(4, 1, DATA_BASE)
+    b.ld(5, 4, 0)        # v = data[i]
+    b.li(6, 0)           # cnt = 0
+    b.label("bit")
+    b.andi(7, 5, 1)
+    b.add(6, 6, 7)
+    b.srli(5, 5, 1)
+    b.bne(5, ZERO, "bit")
+    b.add(3, 3, 6)       # total += cnt
+    b.andi(9, 6, 1)
+    b.slli(8, 8, 1)
+    b.or_(8, 8, 9)       # checksum = checksum<<1 | (cnt&1)
+    b.andi(8, 8, 0xFFFF)
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "word")
+    b.out(3)
+    b.out(8)
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python model of the program's output (for validation tests)."""
+    n = scaled(48, scale)
+    data = input_words(seed, n, bits=16)
+    total = 0
+    checksum = 0
+    for v in data:
+        cnt = bin(v).count("1")
+        total += cnt
+        checksum = ((checksum << 1) | (cnt & 1)) & 0xFFFF
+    return [total, checksum]

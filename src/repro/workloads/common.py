@@ -1,0 +1,33 @@
+"""Shared conventions for the MiBench-analog workloads.
+
+Register conventions (by convention only; nothing is enforced):
+
+* ``r31`` holds the constant 0 for branch comparisons,
+* ``r1``-``r15`` are algorithm locals,
+* ``r16``-``r30`` hold addresses and large constants.
+
+Every workload exposes ``build(scale=1.0, seed=7) -> Program``; ``scale``
+stretches the input size (and therefore the golden run length) linearly,
+``seed`` drives the embedded input data. All ten defaults are tuned so a
+golden run takes a few thousand cycles on the paper's 4-wide RRS
+configuration -- big enough to exercise thousands of renames, small enough
+for Python-scale injection campaigns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+ZERO = 31  # conventional always-zero register
+
+
+def scaled(base: int, scale: float, minimum: int = 2) -> int:
+    """Scale an input-size knob, keeping it sane."""
+    return max(minimum, int(round(base * scale)))
+
+
+def input_words(seed: int, count: int, bits: int = 16) -> List[int]:
+    """Deterministic pseudo-random input data for a workload."""
+    rng = random.Random(seed)
+    return [rng.getrandbits(bits) for _ in range(count)]

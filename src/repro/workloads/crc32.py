@@ -1,0 +1,63 @@
+"""MiBench *CRC32* analog: bitwise (table-less) CRC-32 over a byte stream.
+
+Long dependent chains through the crc register plus a data-dependent
+conditional XOR per bit -- the classic serial workload of the suite.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, input_words, scaled
+
+DATA_BASE = 1200
+POLY = 0xEDB88320
+MASK32 = 0xFFFFFFFF
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """CRC-32 of ``scaled(40*scale)`` bytes; outputs the final CRC."""
+    n = scaled(40, scale)
+    data = [w & 0xFF for w in input_words(seed, n, bits=8)]
+    b = ProgramBuilder("crc32")
+    b.data(DATA_BASE, data)
+    b.li(ZERO, 0)
+    b.li(1, 0)            # i
+    b.li(2, n)            # n
+    b.li(3, MASK32)       # crc = 0xFFFFFFFF
+    b.li(16, POLY)        # polynomial
+    b.label("byte")
+    b.addi(4, 1, DATA_BASE)
+    b.ld(5, 4, 0)         # b = data[i]
+    b.xor(3, 3, 5)        # crc ^= b
+    b.li(6, 8)            # k = 8
+    b.label("bit")
+    b.andi(7, 3, 1)       # lsb
+    b.srli(3, 3, 1)
+    b.sub(8, ZERO, 7)     # mask = -lsb (all ones iff lsb set)
+    b.and_(8, 8, 16)      # poly & mask
+    b.xor(3, 3, 8)        # crc ^= poly (branchless, like the table form)
+    b.addi(6, 6, -1)
+    b.bne(6, ZERO, "bit")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "byte")
+    b.xori(3, 3, MASK32)  # final inversion
+    b.li(17, MASK32)
+    b.and_(3, 3, 17)
+    b.out(3)
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python CRC-32 of the same byte stream."""
+    n = scaled(40, scale)
+    data = [w & 0xFF for w in input_words(seed, n, bits=8)]
+    crc = MASK32
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            lsb = crc & 1
+            crc >>= 1
+            if lsb:
+                crc ^= POLY
+    return [(crc ^ MASK32) & MASK32]

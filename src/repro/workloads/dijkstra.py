@@ -1,0 +1,117 @@
+"""MiBench *dijkstra* analog: single-source shortest paths, O(V^2) scan.
+
+Adjacency matrix, distance array and visited flags all live in data
+memory, giving the run a load/store-heavy profile with comparison
+branches whose outcomes depend on accumulated path lengths.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, scaled
+
+ADJ_BASE = 2000
+DIST_BASE = 3200
+SEEN_BASE = 3300
+INF = 1 << 20
+
+
+def _graph(num_nodes: int, seed: int):
+    """Random sparse-ish weighted digraph as a dense matrix (INF = absent)."""
+    rng = random.Random(seed)
+    matrix = [[INF] * num_nodes for _ in range(num_nodes)]
+    for i in range(num_nodes):
+        matrix[i][i] = 0
+        for j in range(num_nodes):
+            if i != j and rng.random() < 0.45:
+                matrix[i][j] = rng.randint(1, 50)
+    return matrix
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """Shortest paths from node 0 on ``scaled(10*scale)`` nodes; outputs
+    every distance."""
+    v = scaled(10, scale, minimum=3)
+    matrix = _graph(v, seed)
+    b = ProgramBuilder("dijkstra")
+    flat = [matrix[i][j] for i in range(v) for j in range(v)]
+    b.data(ADJ_BASE, flat)
+    b.data(DIST_BASE, [0] + [INF] * (v - 1))
+    b.data(SEEN_BASE, [0] * v)
+    b.li(ZERO, 0)
+    b.li(1, 0)                  # iteration count
+    b.li(2, v)
+    b.li(16, INF)
+    b.label("iter")
+    # -- select unvisited node u with minimal dist --
+    b.li(3, -1)                 # u = -1
+    b.li(4, INF + 1)            # best
+    b.li(5, 0)                  # j
+    b.label("select")
+    b.addi(6, 5, SEEN_BASE)
+    b.ld(7, 6, 0)               # seen[j]
+    b.bne(7, ZERO, "sel_next")
+    b.addi(6, 5, DIST_BASE)
+    b.ld(7, 6, 0)               # dist[j]
+    b.bge(7, 4, "sel_next")
+    b.add(4, 7, ZERO)           # best = dist[j]
+    b.add(3, 5, ZERO)           # u = j
+    b.label("sel_next")
+    b.addi(5, 5, 1)
+    b.blt(5, 2, "select")
+    b.blt(3, ZERO, "done")      # no reachable unvisited node left
+    # -- mark u visited --
+    b.addi(6, 3, SEEN_BASE)
+    b.li(7, 1)
+    b.st(6, 7, 0)
+    # -- relax all edges (u, j) --
+    b.mul(8, 3, 2)              # u * v
+    b.addi(8, 8, ADJ_BASE)      # row base
+    b.li(5, 0)
+    b.label("relax")
+    b.add(6, 8, 5)
+    b.ld(7, 6, 0)               # w(u, j)
+    b.bge(7, 16, "rel_next")    # absent edge
+    b.add(9, 4, 7)              # cand = dist[u] + w
+    b.addi(10, 5, DIST_BASE)
+    b.ld(11, 10, 0)             # dist[j]
+    b.bge(9, 11, "rel_next")
+    b.st(10, 9, 0)              # dist[j] = cand
+    b.label("rel_next")
+    b.addi(5, 5, 1)
+    b.blt(5, 2, "relax")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "iter")
+    b.label("done")
+    b.li(5, 0)
+    b.label("emit")
+    b.addi(6, 5, DIST_BASE)
+    b.ld(7, 6, 0)
+    b.out(7)
+    b.addi(5, 5, 1)
+    b.blt(5, 2, "emit")
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python Dijkstra over the same graph."""
+    v = scaled(10, scale, minimum=3)
+    matrix = _graph(v, seed)
+    dist = [0] + [INF] * (v - 1)
+    seen = [False] * v
+    for _ in range(v):
+        u, best = -1, INF + 1
+        for j in range(v):
+            if not seen[j] and dist[j] < best:
+                best, u = dist[j], j
+        if u < 0:
+            break
+        seen[u] = True
+        for j in range(v):
+            w = matrix[u][j]
+            if w < INF and best + w < dist[j]:
+                dist[j] = best + w
+    return dist

@@ -1,0 +1,94 @@
+"""MiBench *fft* analog: in-place butterfly passes over a fixed-point array.
+
+log2(n) stages of stride-doubling butterflies with a rotating coefficient,
+all in 32-bit fixed point -- regular control flow, memory-strided access,
+multiplier-bound arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, input_words, scaled
+
+DATA_BASE = 5600
+MASK32 = 0xFFFFFFFF
+COEFF = 0x9E37  # rotating butterfly coefficient
+
+
+def _size(scale: float) -> int:
+    n = 8
+    target = scaled(32, scale, minimum=8)
+    while n * 2 <= target:
+        n *= 2
+    return n
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """Butterfly passes over ``2^k ~ 32*scale`` points; outputs a final
+    checksum and the last element."""
+    n = _size(scale)
+    data = input_words(seed, n, bits=16)
+    b = ProgramBuilder("fft")
+    b.data(DATA_BASE, data)
+    b.li(ZERO, 0)
+    b.li(1, 1)                  # stride
+    b.li(2, n)
+    b.li(16, COEFF)
+    b.li(17, MASK32)
+    b.label("stage")
+    b.li(3, 0)                  # i
+    b.label("pair")
+    b.addi(4, 3, DATA_BASE)
+    b.ld(5, 4, 0)               # a = x[i]
+    b.add(6, 4, 1)
+    b.ld(7, 6, 0)               # b = x[i + stride]
+    b.mul(8, 7, 16)
+    b.srli(8, 8, 8)             # t = (b * coeff) >> 8
+    b.and_(8, 8, 17)
+    b.add(9, 5, 8)
+    b.and_(9, 9, 17)            # a' = (a + t) & mask
+    b.sub(10, 5, 8)
+    b.and_(10, 10, 17)          # b' = (a - t) & mask
+    b.st(4, 9, 0)
+    b.st(6, 10, 0)
+    b.slli(11, 1, 1)
+    b.add(3, 3, 11)             # i += 2 * stride
+    b.blt(3, 2, "pair")
+    b.slli(1, 1, 1)             # stride *= 2
+    b.blt(1, 2, "stage")
+    # Checksum pass.
+    b.li(3, 0)
+    b.li(12, 0)
+    b.label("sum")
+    b.addi(4, 3, DATA_BASE)
+    b.ld(5, 4, 0)
+    b.xor(12, 12, 5)
+    b.add(12, 12, 3)
+    b.and_(12, 12, 17)
+    b.addi(3, 3, 1)
+    b.blt(3, 2, "sum")
+    b.out(12)
+    b.ld(5, 4, 0)               # last element (r4 still points at it)
+    b.out(5)
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python model of the butterfly passes and checksum."""
+    n = _size(scale)
+    x = input_words(seed, n, bits=16)
+    stride = 1
+    while stride < n:
+        i = 0
+        while i < n:
+            a, bval = x[i], x[i + stride]
+            t = ((bval * COEFF) >> 8) & MASK32
+            x[i] = (a + t) & MASK32
+            x[i + stride] = (a - t) & MASK32
+            i += 2 * stride
+        stride *= 2
+    checksum = 0
+    for i, v in enumerate(x):
+        checksum = ((checksum ^ v) + i) & MASK32
+    return [checksum, x[n - 1]]

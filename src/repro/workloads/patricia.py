@@ -1,0 +1,147 @@
+"""MiBench *patricia* analog: bitwise binary trie insert + lookup.
+
+Nodes live in three parallel arrays (left child, right child, leaf value);
+traversal is pointer chasing with a branch per key bit -- the suite's
+irregular-memory, deep-dependence workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, scaled
+
+LEFT_BASE = 6400
+RIGHT_BASE = 6700
+VALUE_BASE = 7000
+KEY_BITS = 8
+
+
+def _keys(num_keys: int, num_probes: int, seed: int):
+    rng = random.Random(seed)
+    keys = rng.sample(range(1 << KEY_BITS), num_keys)
+    probes = [rng.randrange(1 << KEY_BITS) for _ in range(num_probes)]
+    probes.extend(rng.sample(keys, min(4, len(keys))))  # guaranteed hits
+    return keys, probes
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """Insert ``scaled(14*scale)`` keys then probe ``scaled(20*scale)``;
+    outputs node count, hit count and hit-value sum."""
+    num_keys = scaled(14, scale)
+    num_probes = scaled(20, scale)
+    keys, probes = _keys(num_keys, num_probes, seed)
+    key_base = 7300
+    probe_base = 7400
+    b = ProgramBuilder("patricia")
+    b.data(key_base, keys)
+    b.data(probe_base, probes)
+    b.li(ZERO, 0)
+    b.li(1, 1)                  # next free node (0 = root)
+    # -- insertion loop --
+    b.li(2, 0)                  # key index
+    b.li(3, len(keys))
+    b.label("ins")
+    b.addi(4, 2, key_base)
+    b.ld(5, 4, 0)               # key
+    b.li(6, 0)                  # node = root
+    b.li(7, KEY_BITS - 1)       # bit position
+    b.label("ins_bit")
+    b.srl(8, 5, 7)
+    b.andi(8, 8, 1)             # bit
+    b.beq(8, ZERO, "ins_left")
+    b.addi(9, 6, RIGHT_BASE)
+    b.jmp("ins_step")
+    b.label("ins_left")
+    b.addi(9, 6, LEFT_BASE)
+    b.label("ins_step")
+    b.ld(10, 9, 0)              # child
+    b.bne(10, ZERO, "ins_go")
+    b.st(9, 1, 0)               # allocate: child = next free node
+    b.add(10, 1, ZERO)
+    b.addi(1, 1, 1)
+    b.label("ins_go")
+    b.add(6, 10, ZERO)          # node = child
+    b.addi(7, 7, -1)
+    b.bge(7, ZERO, "ins_bit")
+    b.addi(9, 6, VALUE_BASE)
+    b.st(9, 5, 0)               # leaf value = key
+    b.addi(2, 2, 1)
+    b.blt(2, 3, "ins")
+    # -- probe loop --
+    b.li(2, 0)
+    b.li(3, len(probes))
+    b.li(11, 0)                 # hits
+    b.li(12, 0)                 # hit value sum
+    b.label("probe")
+    b.addi(4, 2, probe_base)
+    b.ld(5, 4, 0)               # probe key
+    b.li(6, 0)
+    b.li(7, KEY_BITS - 1)
+    b.label("pr_bit")
+    b.srl(8, 5, 7)
+    b.andi(8, 8, 1)
+    b.beq(8, ZERO, "pr_left")
+    b.addi(9, 6, RIGHT_BASE)
+    b.jmp("pr_step")
+    b.label("pr_left")
+    b.addi(9, 6, LEFT_BASE)
+    b.label("pr_step")
+    b.ld(10, 9, 0)
+    b.beq(10, ZERO, "pr_next")  # missing edge -> miss
+    b.add(6, 10, ZERO)
+    b.addi(7, 7, -1)
+    b.bge(7, ZERO, "pr_bit")
+    b.addi(9, 6, VALUE_BASE)
+    b.ld(10, 9, 0)
+    b.bne(10, 5, "pr_next")     # stale leaf -> miss
+    b.addi(11, 11, 1)
+    b.add(12, 12, 5)
+    b.label("pr_next")
+    b.addi(2, 2, 1)
+    b.blt(2, 3, "probe")
+    b.out(1)                    # node count
+    b.out(11)
+    b.out(12)
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python trie with identical allocation order."""
+    num_keys = scaled(14, scale)
+    num_probes = scaled(20, scale)
+    keys, probes = _keys(num_keys, num_probes, seed)
+    left = {}
+    right = {}
+    value = {}
+    next_node = 1
+    for key in keys:
+        node = 0
+        for bit_pos in range(KEY_BITS - 1, -1, -1):
+            bit = (key >> bit_pos) & 1
+            table = right if bit else left
+            child = table.get(node, 0)
+            if child == 0:
+                table[node] = next_node
+                child = next_node
+                next_node += 1
+            node = child
+        value[node] = key
+    hits = 0
+    hit_sum = 0
+    for key in probes:
+        node = 0
+        ok = True
+        for bit_pos in range(KEY_BITS - 1, -1, -1):
+            bit = (key >> bit_pos) & 1
+            child = (right if bit else left).get(node, 0)
+            if child == 0:
+                ok = False
+                break
+            node = child
+        if ok and value.get(node) == key:
+            hits += 1
+            hit_sum += key
+    return [next_node, hits, hit_sum]

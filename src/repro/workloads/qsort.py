@@ -1,0 +1,69 @@
+"""MiBench *qsort* analog: in-memory sort with data-dependent inner loop.
+
+Implemented as an insertion sort (same O(n^2) data-movement/branching
+profile at these input sizes): the inner shift loop's trip count depends
+entirely on the data, so branch behaviour is highly irregular.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, input_words, scaled
+
+DATA_BASE = 1600
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """Sort ``scaled(24*scale)`` words; outputs min, max and an
+    order-weighted checksum."""
+    n = scaled(24, scale)
+    data = input_words(seed, n, bits=12)
+    b = ProgramBuilder("qsort")
+    b.data(DATA_BASE, data)
+    b.li(ZERO, 0)
+    b.li(1, 1)                 # i = 1
+    b.li(2, n)
+    b.label("outer")
+    b.addi(3, 1, DATA_BASE)
+    b.ld(4, 3, 0)              # key = a[i]
+    b.addi(5, 1, -1)           # j = i - 1
+    b.label("inner")
+    b.blt(5, ZERO, "place")
+    b.addi(6, 5, DATA_BASE)
+    b.ld(7, 6, 0)              # a[j]
+    b.bge(4, 7, "place")       # while a[j] > key
+    b.st(6, 7, 1)              # a[j+1] = a[j]
+    b.addi(5, 5, -1)
+    b.jmp("inner")
+    b.label("place")
+    b.addi(6, 5, DATA_BASE)
+    b.st(6, 4, 1)              # a[j+1] = key
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "outer")
+    # Emit min, max, weighted checksum sum(i * a[i]).
+    b.li(8, DATA_BASE)
+    b.ld(9, 8, 0)              # min = a[0]
+    b.addi(10, 8, 0)
+    b.ld(11, 10, n - 1)        # max = a[n-1]
+    b.out(9)
+    b.out(11)
+    b.li(1, 0)
+    b.li(12, 0)                # checksum
+    b.label("sum")
+    b.addi(3, 1, DATA_BASE)
+    b.ld(4, 3, 0)
+    b.mul(4, 4, 1)
+    b.add(12, 12, 4)
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "sum")
+    b.out(12)
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python model: sorted min/max and the weighted checksum."""
+    n = scaled(24, scale)
+    data = sorted(input_words(seed, n, bits=12))
+    checksum = sum(i * v for i, v in enumerate(data))
+    return [data[0], data[-1], checksum]

@@ -1,0 +1,78 @@
+"""MiBench *stringsearch* analog: naive substring search, word-per-char.
+
+Early-exit mismatch comparisons give short, unpredictable inner loops --
+the highest branch-per-instruction ratio in the suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, scaled
+
+TEXT_BASE = 4000
+PAT_BASE = 4600
+
+
+def _inputs(n: int, m: int, seed: int):
+    rng = random.Random(seed)
+    alphabet = 4  # small alphabet -> plenty of partial matches
+    text = [rng.randrange(alphabet) for _ in range(n)]
+    pattern = [rng.randrange(alphabet) for _ in range(m)]
+    # Plant a few true matches.
+    for _ in range(3):
+        pos = rng.randrange(0, max(1, n - m))
+        text[pos:pos + m] = pattern
+    return text, pattern
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """Search a planted pattern in ``scaled(80*scale)`` chars; outputs the
+    match count and the sum of match positions."""
+    n = scaled(80, scale)
+    m = 4
+    text, pattern = _inputs(n, m, seed)
+    b = ProgramBuilder("stringsearch")
+    b.data(TEXT_BASE, text)
+    b.data(PAT_BASE, pattern)
+    b.li(ZERO, 0)
+    b.li(1, 0)                  # i (text index)
+    b.li(2, n - m + 1)          # limit
+    b.li(3, m)
+    b.li(4, 0)                  # matches
+    b.li(5, 0)                  # position sum
+    b.label("outer")
+    b.li(6, 0)                  # k
+    b.label("cmp")
+    b.add(7, 1, 6)
+    b.addi(7, 7, TEXT_BASE)
+    b.ld(8, 7, 0)               # text[i+k]
+    b.addi(9, 6, PAT_BASE)
+    b.ld(10, 9, 0)              # pattern[k]
+    b.bne(8, 10, "miss")
+    b.addi(6, 6, 1)
+    b.blt(6, 3, "cmp")
+    b.addi(4, 4, 1)             # full match
+    b.add(5, 5, 1)
+    b.label("miss")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "outer")
+    b.out(4)
+    b.out(5)
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python naive search over the same inputs."""
+    n = scaled(80, scale)
+    m = 4
+    text, pattern = _inputs(n, m, seed)
+    matches = 0
+    possum = 0
+    for i in range(n - m + 1):
+        if text[i:i + m] == pattern:
+            matches += 1
+            possum += i
+    return [matches, possum]

@@ -1,0 +1,121 @@
+"""MiBench *susan* analog: 3x3 neighbourhood smoothing + corner threshold.
+
+Two-dimensional strided loads with a per-pixel threshold branch; output is
+the corner count plus a smoothed-image checksum.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.common import ZERO, scaled
+
+IMG_BASE = 8000
+OUT_BASE = 9200
+THRESHOLD = 48
+
+
+def _dims(scale: float):
+    side = scaled(10, scale, minimum=5)
+    return side, side
+
+
+def _image(width: int, height: int, seed: int):
+    rng = random.Random(seed)
+    return [rng.randrange(256) for _ in range(width * height)]
+
+
+def build(scale: float = 1.0, seed: int = 7) -> Program:
+    """Smooth a ``~(10*scale)^2`` image; outputs corner count and checksum."""
+    width, height = _dims(scale)
+    img = _image(width, height, seed)
+    b = ProgramBuilder("susan")
+    b.data(IMG_BASE, img)
+    b.li(ZERO, 0)
+    b.li(1, 1)                   # y
+    b.li(2, height - 1)
+    b.li(16, width)
+    b.li(17, THRESHOLD)
+    b.li(14, 0)                  # corner count
+    b.li(15, 0)                  # checksum
+    b.label("row")
+    b.li(3, 1)                   # x
+    b.li(4, width)
+    b.addi(4, 4, -1)
+    b.label("col")
+    b.mul(5, 1, 16)
+    b.add(5, 5, 3)               # idx = y * width + x
+    b.addi(5, 5, IMG_BASE)
+    # 3x3 neighbourhood sum.
+    b.li(6, 0)
+    b.sub(7, 5, 16)              # row above
+    b.ld(8, 7, -1)
+    b.add(6, 6, 8)
+    b.ld(8, 7, 0)
+    b.add(6, 6, 8)
+    b.ld(8, 7, 1)
+    b.add(6, 6, 8)
+    b.ld(8, 5, -1)
+    b.add(6, 6, 8)
+    b.ld(9, 5, 0)                # center
+    b.add(6, 6, 9)
+    b.ld(8, 5, 1)
+    b.add(6, 6, 8)
+    b.add(7, 5, 16)              # row below
+    b.ld(8, 7, -1)
+    b.add(6, 6, 8)
+    b.ld(8, 7, 0)
+    b.add(6, 6, 8)
+    b.ld(8, 7, 1)
+    b.add(6, 6, 8)
+    # smoothed = sum / 9
+    b.li(10, 9)
+    b.div(11, 6, 10)
+    # corner if |center - smoothed| > threshold
+    b.sub(12, 9, 11)
+    b.blt(12, ZERO, "negate")
+    b.jmp("absdone")
+    b.label("negate")
+    b.sub(12, ZERO, 12)
+    b.label("absdone")
+    b.blt(17, 12, "corner")
+    b.jmp("store")
+    b.label("corner")
+    b.addi(14, 14, 1)
+    b.label("store")
+    b.mul(13, 1, 16)
+    b.add(13, 13, 3)
+    b.addi(13, 13, OUT_BASE)
+    b.st(13, 11, 0)
+    b.add(15, 15, 11)
+    b.xor(15, 15, 12)
+    b.addi(3, 3, 1)
+    b.blt(3, 4, "col")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "row")
+    b.out(14)
+    b.out(15)
+    b.halt()
+    return b.build()
+
+
+def expected(scale: float = 1.0, seed: int = 7):
+    """Pure-Python smoothing/threshold over the same image."""
+    width, height = _dims(scale)
+    img = _image(width, height, seed)
+    corners = 0
+    checksum = 0
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            total = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    total += img[(y + dy) * width + (x + dx)]
+            center = img[y * width + x]
+            smoothed = total // 9
+            diff = abs(center - smoothed)
+            if diff > THRESHOLD:
+                corners += 1
+            checksum = (checksum + smoothed) ^ diff
+    return [corners, checksum]

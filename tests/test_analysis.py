@@ -1,0 +1,84 @@
+"""Tests for buckets and report rendering."""
+
+import pytest
+
+from repro.analysis.buckets import (
+    DEFAULT_EDGES,
+    bucket_index,
+    bucket_labels,
+    histogram,
+    histogram_table,
+)
+from repro.analysis.report import (
+    coverage_report,
+    figure3_report,
+    figure4_report,
+    figure5_report,
+    figure8_report,
+    latency_report,
+)
+
+
+class TestBuckets:
+    def test_eight_buckets(self):
+        assert len(bucket_labels()) == 8
+        assert len(DEFAULT_EDGES) == 7
+
+    def test_bucket_index_boundaries(self):
+        assert bucket_index(0) == 0
+        assert bucket_index(9) == 0
+        assert bucket_index(10) == 1
+        assert bucket_index(99) == 1
+        assert bucket_index(10_000_000) == 7
+        assert bucket_index(10**12) == 7
+
+    def test_histogram_counts(self):
+        counts = histogram([0, 5, 10, 500, 10**8])
+        assert counts[0] == 2 and counts[1] == 1 and counts[2] == 1
+        assert counts[7] == 1
+        assert sum(counts) == 5
+
+    def test_histogram_empty(self):
+        assert sum(histogram([])) == 0
+
+    def test_custom_edges(self):
+        counts = histogram([1, 5, 9], edges=(2, 8))
+        assert counts == [1, 1, 1]
+
+    def test_table_renders_all_series(self):
+        lines = histogram_table({"a": [1, 20], "b": [300]})
+        assert len(lines) == 9  # header + 8 buckets
+        assert "a" in lines[0] and "b" in lines[0]
+
+
+class TestFigureReports:
+    def test_figure3(self, small_campaign):
+        lines = figure3_report(small_campaign)
+        assert any("AVERAGE" in line for line in lines)
+        for bench in small_campaign.benchmarks:
+            assert any(bench in line for line in lines)
+
+    def test_figure4(self, small_campaign):
+        lines = figure4_report(small_campaign)
+        assert any("%" in line for line in lines)
+
+    def test_figure5(self, small_campaign):
+        lines = figure5_report(small_campaign)
+        assert any("non-masked" in line for line in lines)
+
+    def test_figure8(self, small_campaign):
+        lines = figure8_report(small_campaign)
+        assert any("SDC" in line for line in lines)
+
+    def test_coverage(self, small_campaign):
+        lines = coverage_report(small_campaign)
+        text = "\n".join(lines)
+        assert "IDLD" in text and "100" in text
+
+    def test_coverage_without_bv(self, small_campaign):
+        text = "\n".join(coverage_report(small_campaign, with_bv=False))
+        assert "bit-vector" not in text
+
+    def test_latency_report(self, small_campaign):
+        text = "\n".join(latency_report(small_campaign))
+        assert "IDLD max latency" in text

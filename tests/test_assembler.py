@@ -1,0 +1,141 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Opcode
+from repro.isa.semantics import reference_run
+
+
+class TestBasicParsing:
+    def test_single_instruction(self):
+        program = assemble("halt")
+        assert len(program) == 1
+        assert program.instructions[0].opcode is Opcode.HALT
+
+    def test_three_operand_alu(self):
+        program = assemble("add r1, r2, r3\nhalt")
+        inst = program.instructions[0]
+        assert (inst.opcode, inst.rd, inst.rs1, inst.rs2) == (Opcode.ADD, 1, 2, 3)
+
+    def test_immediate_decimal_and_hex(self):
+        program = assemble("li r1, 42\nli r2, 0x2A\nhalt")
+        assert program.instructions[0].imm == 42
+        assert program.instructions[1].imm == 42
+
+    def test_negative_immediate(self):
+        program = assemble("addi r1, r1, -3\nhalt")
+        assert program.instructions[0].imm == -3
+
+    def test_comments_stripped(self):
+        program = assemble("add r1, r2, r3 ; comment\n# full line\nhalt")
+        assert len(program) == 2
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("ADD r1, r2, r3\nHALT")
+        assert program.instructions[0].opcode is Opcode.ADD
+
+    def test_store_operand_order(self):
+        program = assemble("st r1, r2, 5\nhalt")
+        inst = program.instructions[0]
+        assert (inst.rs1, inst.rs2, inst.imm) == (1, 2, 5)
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        program = assemble("top:\naddi r1, r1, 1\nblt r1, r2, top\nhalt")
+        assert program.instructions[1].target == 0
+
+    def test_forward_branch(self):
+        program = assemble("beq r1, r2, end\naddi r1, r1, 1\nend:\nhalt")
+        assert program.instructions[0].target == 2
+
+    def test_label_on_same_line(self):
+        program = assemble("top: addi r1, r1, 1\njmp top\nhalt")
+        assert program.labels["top"] == 0
+        assert program.instructions[1].target == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nnop\nx:\nhalt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere\nhalt")
+
+    def test_labels_recorded_in_program(self):
+        program = assemble("a:\nnop\nb:\nhalt")
+        assert program.labels == {"a": 0, "b": 1}
+
+
+class TestDirectives:
+    def test_name_directive(self):
+        program = assemble(".name mytest\nhalt")
+        assert program.name == "mytest"
+
+    def test_explicit_name_overrides_directive(self):
+        program = assemble(".name inner\nhalt", name="outer")
+        assert program.name == "outer"
+
+    def test_data_directive(self):
+        program = assemble(".data 100 1 2 3\nhalt")
+        assert program.initial_memory == {100: 1, 101: 2, 102: 3}
+
+    def test_data_directive_hex(self):
+        program = assemble(".data 0x10 0xFF\nhalt")
+        assert program.initial_memory == {16: 255}
+
+    def test_data_requires_values(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data 100\nhalt")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("frobnicate r1\nhalt")
+        assert "line 1" in str(exc.value)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2\nhalt")
+
+    def test_register_expected(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, 5, r3\nhalt")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r99, r1, r2\nhalt")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblerError):
+            assemble("li r1, zebra\nhalt")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("nop\nnop\nbogus\nhalt")
+        assert exc.value.line_no == 3
+
+
+class TestEndToEnd:
+    def test_assembled_program_runs(self):
+        source = """
+        .name summer
+        .data 50 10 20 30
+            li r1, 0
+            li r2, 3
+            li r3, 0
+        loop:
+            addi r4, r1, 50
+            ld r5, r4, 0
+            add r3, r3, r5
+            addi r1, r1, 1
+            blt r1, r2, loop
+            out r3
+            halt
+        """
+        program = assemble(source)
+        output, _, _ = reference_run(program)
+        assert output == [60]
+        assert program.name == "summer"

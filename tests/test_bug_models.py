@@ -1,0 +1,101 @@
+"""Tests for bug models, spec drawing and arming."""
+
+import random
+
+import pytest
+
+from repro.bugs.injector import arm, draw_spec
+from repro.bugs.models import BugModel, BugSpec, PRIMARY_MODELS
+from repro.core.config import CoreConfig
+from repro.core.rrs.signals import (
+    ArmedCorruption,
+    ArmedSuppression,
+    ArrayName,
+    SignalFabric,
+    SignalKind,
+    TABLE_I,
+)
+
+
+class TestModelGroups:
+    def test_primary_models(self):
+        assert PRIMARY_MODELS == (
+            BugModel.DUPLICATION,
+            BugModel.LEAKAGE,
+            BugModel.PDST_CORRUPTION,
+        )
+
+    def test_duplication_targets_read_enables(self):
+        for _, kind in BugModel.DUPLICATION.signals:
+            assert kind is SignalKind.READ_ENABLE
+
+    def test_leakage_targets_write_enables(self):
+        for _, kind in BugModel.LEAKAGE.signals:
+            assert kind is SignalKind.WRITE_ENABLE
+
+    def test_corruption_has_no_signals(self):
+        assert BugModel.PDST_CORRUPTION.signals == ()
+
+    def test_recovery_flow_signals_exist_in_table(self):
+        for pair in BugModel.RECOVERY_FLOW.signals:
+            assert pair in TABLE_I
+
+
+class TestDrawSpec:
+    def test_signal_model_draw(self):
+        rng = random.Random(0)
+        spec = draw_spec(BugModel.LEAKAGE, rng, 1000, CoreConfig())
+        assert spec.model is BugModel.LEAKAGE
+        assert (spec.array, spec.kind) in BugModel.LEAKAGE.signals
+        assert 1 <= spec.inject_cycle <= 900
+
+    def test_corruption_draw(self):
+        rng = random.Random(0)
+        config = CoreConfig()
+        spec = draw_spec(BugModel.PDST_CORRUPTION, rng, 1000, config)
+        assert spec.xor_mask is not None
+        assert 1 <= spec.xor_mask < (1 << config.pdst_bits)
+
+    def test_deterministic_for_seed(self):
+        config = CoreConfig()
+        a = draw_spec(BugModel.DUPLICATION, random.Random(5), 800, config)
+        b = draw_spec(BugModel.DUPLICATION, random.Random(5), 800, config)
+        assert a == b
+
+    def test_window_respects_golden_length(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            spec = draw_spec(BugModel.LEAKAGE, rng, 100, CoreConfig())
+            assert spec.inject_cycle <= 90
+
+
+class TestArm:
+    def test_arm_suppression(self):
+        fabric = SignalFabric()
+        spec = BugSpec(
+            BugModel.LEAKAGE, 5, array=ArrayName.RAT,
+            kind=SignalKind.WRITE_ENABLE,
+        )
+        armed = arm(spec, fabric)
+        assert isinstance(armed, ArmedSuppression)
+        assert fabric.any_armed
+
+    def test_arm_corruption(self):
+        fabric = SignalFabric()
+        spec = BugSpec(BugModel.PDST_CORRUPTION, 5, xor_mask=3)
+        armed = arm(spec, fabric)
+        assert isinstance(armed, ArmedCorruption)
+
+
+class TestDescribe:
+    def test_signal_describe(self):
+        spec = BugSpec(
+            BugModel.DUPLICATION, 7, array=ArrayName.FL,
+            kind=SignalKind.READ_ENABLE,
+        )
+        text = spec.describe()
+        assert "FL.read_enable" in text and "cycle 7" in text
+
+    def test_corruption_describe(self):
+        spec = BugSpec(BugModel.PDST_CORRUPTION, 7, xor_mask=5)
+        assert "0x5" in spec.describe()

@@ -1,0 +1,123 @@
+"""Unit tests for the checkpoint table."""
+
+import pytest
+
+from repro.core.rrs.checkpoint import CheckpointTable
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+
+from tests.support import RecordingObserver
+
+
+@pytest.fixture()
+def setup():
+    fabric = SignalFabric()
+    observer = RecordingObserver()
+    table = CheckpointTable(4, fabric, [observer])
+    table.reset(list(range(8)))
+    return table, fabric, observer
+
+
+class TestLifecycle:
+    def test_reset_anchors_slot0(self, setup):
+        table, _, _ = setup
+        slots = table.valid_slots()
+        assert len(slots) == 1
+        assert slots[0].pos == 0
+        assert slots[0].rat_image == list(range(8))
+
+    def test_take_uses_free_slots(self, setup):
+        table, _, _ = setup
+        a = table.take(10, 10, [1] * 8)
+        b = table.take(20, 20, [2] * 8)
+        assert a is not None and b is not None and a.index != b.index
+
+    def test_take_skips_when_full(self, setup):
+        table, _, _ = setup
+        for pos in (10, 20, 30):
+            table.take(pos, pos, [0] * 8)
+        assert table.take(40, 40, [0] * 8) is None
+
+    def test_force_recycles_oldest(self, setup):
+        table, _, obs = setup
+        for pos in (10, 20, 30):
+            table.take(pos, pos, [0] * 8)
+        slot = table.take(40, 40, [9] * 8, force=True)
+        assert slot is not None
+        assert slot.pos == 40
+        assert obs.of_kind("checkpoint_freed")  # the old slot was released
+
+    def test_events_on_take(self, setup):
+        table, _, obs = setup
+        table.take(10, 10, [0] * 8)
+        contents = obs.of_kind("checkpoint_content")
+        metas = obs.of_kind("checkpoint_meta")
+        assert contents[-1][2] == 10 and metas[-1][2] == 10
+
+
+class TestSelection:
+    def test_select_youngest_at_or_below(self, setup):
+        table, _, _ = setup
+        table.take(10, 10, [0] * 8)
+        table.take(20, 20, [0] * 8)
+        assert table.select_for(25).pos == 20
+        assert table.select_for(15).pos == 10
+        assert table.select_for(5).pos == 0
+
+    def test_select_allows_pos_equal_offender_plus_one(self, setup):
+        table, _, _ = setup
+        table.take(10, 10, [0] * 8)
+        assert table.select_for(9).pos == 10  # zero-length positive walk
+
+    def test_free_younger_than(self, setup):
+        table, _, _ = setup
+        table.take(10, 10, [0] * 8)
+        table.take(20, 20, [0] * 8)
+        table.free_younger_than(15)
+        assert {s.pos for s in table.valid_slots()} == {0, 10}
+
+
+class TestAnchorRetirement:
+    def test_anchor_advances_and_frees_older(self, setup):
+        table, _, _ = setup
+        table.take(10, 10, [0] * 8)
+        table.take(20, 20, [0] * 8)
+        anchor = table.retire_anchor(commit_seq=15)
+        assert anchor.pos == 10
+        assert {s.pos for s in table.valid_slots()} == {10, 20}
+
+    def test_anchor_never_frees_itself(self, setup):
+        table, _, _ = setup
+        anchor = table.retire_anchor(commit_seq=0)
+        assert anchor.pos == 0
+        assert table.valid_slots()
+
+    def test_anchor_invariant_after_churn(self, setup):
+        table, _, _ = setup
+        for pos in (10, 20, 30):
+            table.take(pos, pos, [0] * 8)
+        table.retire_anchor(25)
+        # A flush at any uncommitted seq still finds a snapshot.
+        assert table.select_for(25) is not None
+        assert table.select_for(99) is not None
+
+
+class TestCaptureSuppression:
+    def test_suppressed_capture_keeps_stale_image(self, setup):
+        table, fabric, _ = setup
+        slot = table.take(10, 10, [7] * 8)
+        table.retire_anchor(10)  # slot0 freed, the new slot is anchor
+        fabric.arm_suppression(ArrayName.CKPT, SignalKind.CHECKPOINT, 0)
+        # Reuse of a freed slot with capture suppressed: metadata advances,
+        # image stays stale -- Section III.C's "recovered from a wrong
+        # checkpoint" scenario.
+        stale = table.take(30, 30, [1] * 8)
+        assert stale.pos == 30
+        assert stale.rat_image != [1] * 8
+
+    def test_suppressed_capture_emits_meta_only(self, setup):
+        table, fabric, obs = setup
+        fabric.arm_suppression(ArrayName.CKPT, SignalKind.CHECKPOINT, 0)
+        before = len(obs.of_kind("checkpoint_content"))
+        table.take(10, 10, [1] * 8)
+        assert len(obs.of_kind("checkpoint_content")) == before
+        assert obs.of_kind("checkpoint_meta")[-1][2] == 10

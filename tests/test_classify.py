@@ -1,0 +1,121 @@
+"""Tests for the bug-effect classifier."""
+
+import pytest
+
+from repro.analysis.outcomes import OutcomeClass
+from repro.bugs.classify import classify_run, timeout_budget
+from repro.core.cpu import RunResult
+from repro.core.errors import DeadlockError, MemoryFault, SimulatorAssertion
+from repro.isa.program import ProgramBuilder
+
+
+@pytest.fixture()
+def program():
+    b = ProgramBuilder("cls")
+    b.li(1, 1)
+    b.out(1)
+    b.out(1)
+    b.halt()
+    return b.build()
+
+
+def result(pcs, cycles, output, total_cycles=None, halted=True, name="cls"):
+    return RunResult(
+        program_name=name,
+        cycles=total_cycles if total_cycles is not None else (cycles[-1] if cycles else 0),
+        halted=halted,
+        output=list(output),
+        commit_pcs=list(pcs),
+        commit_cycles=list(cycles),
+    )
+
+
+@pytest.fixture()
+def golden(program):
+    return result([0, 1, 2, 3], [2, 3, 3, 4], [1, 1])
+
+
+class TestMaskedClasses:
+    def test_benign(self, program, golden):
+        buggy = result([0, 1, 2, 3], [2, 3, 3, 4], [1, 1])
+        cls = classify_run(program, golden, buggy)
+        assert cls.outcome is OutcomeClass.BENIGN
+        assert cls.manifestation_cycle is None
+
+    def test_performance_same_pcs_different_cycles(self, program, golden):
+        buggy = result([0, 1, 2, 3], [2, 3, 5, 6], [1, 1])
+        cls = classify_run(program, golden, buggy)
+        assert cls.outcome is OutcomeClass.PERFORMANCE
+        assert cls.manifestation_cycle == 5
+
+    def test_performance_total_cycles_differ(self, program, golden):
+        buggy = result([0, 1, 2, 3], [2, 3, 3, 4], [1, 1], total_cycles=99)
+        cls = classify_run(program, golden, buggy)
+        assert cls.outcome is OutcomeClass.PERFORMANCE
+
+    def test_control_flow_deviation(self, program, golden):
+        buggy = result([0, 2, 1, 3], [2, 3, 3, 4], [1, 1])
+        cls = classify_run(program, golden, buggy)
+        assert cls.outcome is OutcomeClass.CONTROL_FLOW_DEVIATION
+        assert cls.manifestation_cycle == 3
+
+
+class TestObservableClasses:
+    def test_sdc_wrong_output(self, program, golden):
+        buggy = result([0, 1, 2, 3], [2, 3, 3, 4], [1, 9])
+        cls = classify_run(program, golden, buggy)
+        assert cls.outcome is OutcomeClass.SDC
+        # Same trace, wrong value: manifestation at the OUT commit.
+        assert cls.manifestation_cycle == 3
+
+    def test_sdc_with_trace_divergence_uses_first_divergence(
+        self, program, golden
+    ):
+        buggy = result([0, 1, 2, 3], [2, 9, 9, 10], [9, 9])
+        cls = classify_run(program, golden, buggy)
+        assert cls.outcome is OutcomeClass.SDC
+        assert cls.manifestation_cycle == 9
+
+    def test_timeout_not_halted(self, program, golden):
+        buggy = result([0, 1], [2, 3], [1], halted=False, total_cycles=500)
+        cls = classify_run(program, golden, buggy)
+        assert cls.outcome is OutcomeClass.TIMEOUT
+
+    def test_assert_error(self, program, golden):
+        cls = classify_run(
+            program, golden, result([], [], []), SimulatorAssertion(42, "x")
+        )
+        assert cls.outcome is OutcomeClass.ASSERT
+        assert cls.manifestation_cycle == 42
+
+    def test_crash_error(self, program, golden):
+        cls = classify_run(
+            program, golden, result([], [], []), MemoryFault(17, 0xBEEF)
+        )
+        assert cls.outcome is OutcomeClass.CRASH
+        assert cls.manifestation_cycle == 17
+
+    def test_deadlock_is_timeout(self, program, golden):
+        cls = classify_run(
+            program, golden, result([], [], []), DeadlockError(99)
+        )
+        assert cls.outcome is OutcomeClass.TIMEOUT
+
+    def test_unexpected_error_propagates(self, program, golden):
+        with pytest.raises(KeyError):
+            classify_run(program, golden, result([], [], []), KeyError("bug"))
+
+    def test_truncated_trace_manifests_at_cutoff(self, program, golden):
+        buggy = result([0, 1], [2, 3], [1], halted=False, total_cycles=500)
+        cls = classify_run(program, golden, buggy)
+        assert cls.manifestation_cycle == 500
+
+
+class TestTimeoutBudget:
+    def test_budget_is_2_5x(self):
+        big = result([0] * 4, [100, 200, 300, 400], [], total_cycles=400)
+        assert timeout_budget(big) == 1000
+
+    def test_budget_floor(self):
+        tiny = result([0], [1], [])
+        assert timeout_budget(tiny) >= 64

@@ -1,0 +1,35 @@
+"""Tests for the idld-campaign CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table2_only(capsys):
+    assert main(["--figures", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out and "IDLD" in out
+
+
+def test_tiny_campaign(capsys):
+    code = main([
+        "--runs", "2",
+        "--benchmarks", "sha",
+        "--figures", "3,9",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "end-of-test" in out
+    assert "sha" in out
+
+
+def test_unknown_benchmark_rejected(capsys):
+    assert main(["--benchmarks", "nosuch", "--figures", "3"]) == 2
+    assert "unknown benchmarks" in capsys.readouterr().err
+
+
+def test_figure_subset(capsys):
+    main(["--runs", "2", "--benchmarks", "sha", "--figures", "4"])
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "Figure 3" not in out

@@ -1,0 +1,75 @@
+"""Differential fuzzing: the cycle-level core vs the reference interpreter.
+
+Every random program halts by construction; the pipelined, speculating,
+out-of-order core must commit exactly the architectural outputs, leave a
+clean PdstID census, and never trip any detector.
+"""
+
+import pytest
+
+from repro.core import CoreConfig, OoOCore
+from repro.idld import BitVectorScheme, CounterScheme, IDLDChecker
+from repro.isa.semantics import reference_run
+from repro.workloads.generator import random_program
+
+SEEDS = list(range(24))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_matches_reference(seed):
+    program = random_program(seed)
+    expected, _, _ = reference_run(program)
+    idld = IDLDChecker()
+    bv = BitVectorScheme()
+    counter = CounterScheme()
+    core = OoOCore(program, observers=[idld, bv, counter])
+    result = core.run()
+    assert result.halted
+    assert result.output == expected
+    assert not idld.detected, idld.violations[:2]
+    assert not bv.detected
+    assert not counter.detected
+    assert core.census_is_clean()
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 6, 8])
+def test_fuzz_across_widths(width):
+    program = random_program(99, blocks=8, block_len=10)
+    expected, _, _ = reference_run(program)
+    config = CoreConfig(width=width)
+    idld = IDLDChecker()
+    core = OoOCore(program, config=config, observers=[idld])
+    result = core.run()
+    assert result.output == expected
+    assert not idld.detected
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fuzz_with_tight_resources(seed):
+    """Structural-stall-heavy configuration (tiny ROB/IQ/FL)."""
+    program = random_program(seed, blocks=4, block_len=6)
+    expected, _, _ = reference_run(program)
+    config = CoreConfig(
+        width=2,
+        num_physical_regs=40,
+        rob_entries=10,
+        issue_queue_entries=6,
+        fetch_buffer_entries=4,
+        store_queue_entries=4,
+        checkpoint_interval=5,
+        num_checkpoints=3,
+    )
+    idld = IDLDChecker()
+    core = OoOCore(program, config=config, observers=[idld])
+    result = core.run()
+    assert result.output == expected
+    assert not idld.detected
+    assert core.census_is_clean()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_store_heavy(seed):
+    program = random_program(seed + 500, blocks=6, block_len=12, data_words=8)
+    expected, _, _ = reference_run(program)
+    result = OoOCore(program).run()
+    assert result.output == expected

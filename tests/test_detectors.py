@@ -1,0 +1,142 @@
+"""Tests for the baseline detectors: bit-vector, counter, end-of-test."""
+
+import pytest
+
+from repro.analysis.outcomes import OutcomeClass
+from repro.core import OoOCore, SimulationError
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+from repro.idld import (
+    BitVectorScheme,
+    CounterScheme,
+    IDLDChecker,
+    end_of_test_check,
+)
+
+
+def run_detectors(program, array=None, kind=None, cycle=0, corruption=None):
+    fabric = SignalFabric()
+    armed = None
+    if array is not None:
+        armed = fabric.arm_suppression(array, kind, cycle)
+    if corruption is not None:
+        armed = fabric.arm_corruption(cycle, corruption)
+    bv = BitVectorScheme()
+    counter = CounterScheme()
+    idld = IDLDChecker()
+    core = OoOCore(program, observers=[bv, counter, idld], fabric=fabric)
+    try:
+        core.run(max_cycles=60_000)
+    except SimulationError:
+        pass
+    return bv, counter, idld, armed, core
+
+
+class TestBitVector:
+    def test_clean_on_golden(self, suite):
+        bv, _, _, _, _ = run_detectors(suite["bitcount"])
+        assert not bv.detected
+
+    def test_detects_duplication_on_reclaim(self, suite):
+        """FL read-pointer freeze duplicates an id; BV fires when the
+        duplicate is freed ('when a PdstID becomes free and its bit is
+        already set')."""
+        bv, _, _, armed, _ = run_detectors(
+            suite["bitcount"], ArrayName.FL, SignalKind.READ_ENABLE, 100
+        )
+        assert armed.fired
+        assert bv.detected
+        assert bv.detections[0].kind == "duplication"
+
+    def test_detects_persistent_leak_eventually(self, suite):
+        bv, _, _, armed, _ = run_detectors(
+            suite["bitcount"], ArrayName.FL, SignalKind.WRITE_ENABLE, 100
+        )
+        assert armed.fired
+        assert bv.detected
+        assert bv.detections[0].kind == "leakage"
+
+    def test_detection_latency_unbounded_vs_idld(self, suite):
+        """Section V.E: BV detection waits for a reclaim/quiescent point."""
+        bv, _, idld, armed, _ = run_detectors(
+            suite["crc32"], ArrayName.FL, SignalKind.WRITE_ENABLE, 200
+        )
+        assert armed.fired and bv.detected and idld.detected
+        assert idld.first_detection_cycle <= bv.first_detection_cycle
+
+    def test_chicken_bit(self, suite):
+        fabric = SignalFabric()
+        fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 100)
+        bv = BitVectorScheme(enabled=False)
+        core = OoOCore(suite["bitcount"], observers=[bv], fabric=fabric)
+        try:
+            core.run(max_cycles=20_000)
+        except SimulationError:
+            pass
+        assert not bv.detected
+
+
+class TestCounter:
+    def test_clean_on_golden(self, suite):
+        _, counter, _, _, _ = run_detectors(suite["sha"])
+        assert not counter.detected
+
+    def test_detects_pure_leak_at_quiescence(self, suite):
+        _, counter, _, armed, _ = run_detectors(
+            suite["bitcount"], ArrayName.FL, SignalKind.WRITE_ENABLE, 100
+        )
+        assert armed.fired
+        assert counter.detected
+        assert counter.detections[0].free_count < counter.detections[0].expected
+
+    def test_blind_to_combined_dup_and_leak(self):
+        """Section V.E: x+1-1=x. Synthesize the combined case directly."""
+        counter = CounterScheme()
+        counter.power_on(8, 2, [2, 3, 4, 5, 6, 7], [0, 1])
+        counter.fl_read(2)    # allocate 2
+        counter.fl_write(3)   # duplicate-free of 3 (leak of 2 never returns)
+        counter.pipeline_empty(cycle=10)
+        assert not counter.detected  # net count unchanged: invisible
+
+    def test_blind_to_corruption(self, suite):
+        _, counter, idld, armed, _ = run_detectors(
+            suite["sha"], corruption=0b101, cycle=60
+        )
+        assert armed.fired
+        assert idld.detected        # IDLD sees it...
+        assert not counter.detected  # ...the counter cannot (Section V.E)
+
+
+class TestEndOfTest:
+    @pytest.mark.parametrize(
+        "outcome", [OutcomeClass.SDC, OutcomeClass.TIMEOUT,
+                    OutcomeClass.ASSERT, OutcomeClass.CRASH]
+    )
+    def test_observable_outcomes_detected(self, outcome):
+        verdict = end_of_test_check(outcome, final_cycle=1000)
+        assert verdict.detected and verdict.detection_cycle == 1000
+
+    @pytest.mark.parametrize(
+        "outcome", [OutcomeClass.BENIGN, OutcomeClass.PERFORMANCE,
+                    OutcomeClass.CONTROL_FLOW_DEVIATION]
+    )
+    def test_masked_outcomes_missed(self, outcome):
+        verdict = end_of_test_check(outcome, final_cycle=1000)
+        assert not verdict.detected and verdict.detection_cycle is None
+
+
+class TestOutcomeClasses:
+    def test_masked_partition(self):
+        masked = {o for o in OutcomeClass if o.masked}
+        assert masked == {
+            OutcomeClass.BENIGN,
+            OutcomeClass.PERFORMANCE,
+            OutcomeClass.CONTROL_FLOW_DEVIATION,
+        }
+
+    def test_side_effect_subset_of_masked(self):
+        for outcome in OutcomeClass:
+            if outcome.has_side_effect:
+                assert outcome.masked
+
+    def test_benign_has_no_side_effect(self):
+        assert not OutcomeClass.BENIGN.has_side_effect

@@ -1,0 +1,58 @@
+"""Smoke tests: the example scripts run and print what they promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=180):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "bug-free" in out
+    assert "IDLD detected it at cycle" in out
+
+
+def test_walkthrough_figure2():
+    out = run_example("walkthrough_figure2.py")
+    assert "STALE value 111" in out
+    assert "leaked PdstIDs" in out
+    assert "latency 0 cycles" in out
+
+
+def test_mdp_store_sets():
+    out = run_example("mdp_store_sets.py")
+    assert "quiescent-check violations:   0" in out
+    assert "detected via" in out
+
+
+def test_rtl_cost_model():
+    out = run_example("rtl_cost_model.py")
+    assert "Table II" in out
+    assert "IDLD.bus_taps" in out
+
+
+def test_noc_flowguard():
+    out = run_example("noc_flowguard.py")
+    assert "credit-loop guard: VIOLATION" in out
+    assert "data flow looks PERFECT" in out
+
+
+@pytest.mark.slow
+def test_root_cause_latency():
+    out = run_example("root_cause_latency.py", timeout=600)
+    assert "IDLD detected" in out
+    assert "debugging gap" in out

@@ -1,0 +1,65 @@
+"""Tests for campaign CSV/JSON export."""
+
+import csv
+import io
+import json
+
+from repro.analysis.export import (
+    FIELDS,
+    injection_row,
+    to_csv,
+    to_json,
+    write_csv,
+    write_json,
+)
+
+
+class TestCsv:
+    def test_header_and_row_count(self, small_campaign):
+        text = to_csv(small_campaign)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(small_campaign.results)
+        assert set(rows[0]) == set(FIELDS)
+
+    def test_values_roundtrip(self, small_campaign):
+        text = to_csv(small_campaign)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        first = small_campaign.results[0]
+        assert rows[0]["benchmark"] == first.benchmark
+        assert rows[0]["outcome"] == first.outcome.value
+        assert rows[0]["model"] == first.spec.model.value
+
+    def test_write_csv(self, small_campaign, tmp_path):
+        path = tmp_path / "campaign.csv"
+        write_csv(small_campaign, str(path))
+        assert path.read_text().startswith("benchmark,")
+
+
+class TestJson:
+    def test_structure(self, small_campaign):
+        payload = json.loads(to_json(small_campaign))
+        assert set(payload) == {"injections", "aggregates", "goldens"}
+        assert len(payload["injections"]) == len(small_campaign.results)
+        assert payload["aggregates"]["coverage"]["idld"] == 1.0
+
+    def test_goldens_recorded(self, small_campaign):
+        payload = json.loads(to_json(small_campaign))
+        for name in small_campaign.benchmarks:
+            assert payload["goldens"][name]["cycles"] > 0
+
+    def test_write_json(self, small_campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        write_json(small_campaign, str(path))
+        assert json.loads(path.read_text())["aggregates"]
+
+
+class TestRowFlattening:
+    def test_row_has_all_fields(self, small_campaign):
+        row = injection_row(small_campaign.results[0])
+        assert set(row) == set(FIELDS)
+
+    def test_latencies_consistent(self, small_campaign):
+        for record in small_campaign.results:
+            row = injection_row(record)
+            if row["idld_cycle"] is not None and row["activation_cycle"] is not None:
+                assert row["idld_latency"] == row["idld_cycle"] - row["activation_cycle"]

@@ -1,0 +1,133 @@
+"""Unit tests for the Free List FIFO and its injectable signals."""
+
+import pytest
+
+from repro.core.errors import SimulatorAssertion
+from repro.core.rrs.free_list import FreeList
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+
+from tests.support import RecordingObserver
+
+
+@pytest.fixture()
+def setup():
+    fabric = SignalFabric()
+    observer = RecordingObserver()
+    fl = FreeList(8, fabric, [observer])
+    fl.reset(range(8))
+    return fl, fabric, observer
+
+
+class TestFifoSemantics:
+    def test_pop_order_is_fifo(self, setup):
+        fl, _, _ = setup
+        assert [fl.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_push_then_pop_wraps(self, setup):
+        fl, _, _ = setup
+        for _ in range(6):
+            fl.pop()
+        fl.push(42)
+        for _ in range(2):
+            fl.pop()
+        assert fl.pop() == 42
+
+    def test_count_tracks_operations(self, setup):
+        fl, _, _ = setup
+        assert fl.count == 8
+        fl.pop()
+        assert fl.count == 7
+        fl.push(0)
+        assert fl.count == 8
+
+    def test_reset_partial_fill(self):
+        fl = FreeList(8, SignalFabric(), [])
+        fl.reset([5, 6])
+        assert fl.count == 2
+        assert fl.contents() == [5, 6]
+
+    def test_reset_rejects_overfill(self):
+        fl = FreeList(4, SignalFabric(), [])
+        with pytest.raises(ValueError):
+            fl.reset(range(5))
+
+    def test_contents_head_first(self, setup):
+        fl, _, _ = setup
+        fl.pop()
+        assert fl.contents() == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_peek_does_not_consume(self, setup):
+        fl, _, _ = setup
+        assert fl.peek() == 0
+        assert fl.count == 8
+
+
+class TestBoundaryAsserts:
+    def test_pop_empty_raises(self):
+        fl = FreeList(4, SignalFabric(), [])
+        fl.reset([])
+        with pytest.raises(SimulatorAssertion):
+            fl.pop()
+
+    def test_push_full_raises(self, setup):
+        fl, _, _ = setup
+        with pytest.raises(SimulatorAssertion):
+            fl.push(99)
+
+
+class TestObserverEvents:
+    def test_pop_emits_fl_read(self, setup):
+        fl, _, obs = setup
+        fl.pop()
+        assert obs.of_kind("fl_read") == [("fl_read", 0)]
+
+    def test_push_emits_fl_write(self, setup):
+        fl, _, obs = setup
+        fl.pop()
+        fl.push(7)
+        assert obs.of_kind("fl_write") == [("fl_write", 7)]
+
+
+class TestSignalInjection:
+    def test_suppressed_read_duplicates(self, setup):
+        fl, fabric, obs = setup
+        fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 0)
+        first = fl.pop()   # enable suppressed: pointer frozen
+        second = fl.pop()  # same value delivered again
+        assert first == second == 0
+        # Only the second (enabled) pop emitted an event.
+        assert obs.of_kind("fl_read") == [("fl_read", 0)]
+
+    def test_suppressed_read_leaves_count(self, setup):
+        fl, fabric, _ = setup
+        fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 0)
+        fl.pop()
+        assert fl.count == 8  # occupancy permanently inflated by one
+
+    def test_suppressed_write_leaks(self, setup):
+        fl, fabric, obs = setup
+        fl.pop()
+        fl.pop()
+        fabric.arm_suppression(ArrayName.FL, SignalKind.WRITE_ENABLE, 0)
+        fl.push(0)  # dropped
+        assert fl.count == 6
+        assert 0 not in fl.contents()
+        assert obs.of_kind("fl_write") == []
+
+    def test_suppression_is_one_shot(self, setup):
+        fl, fabric, _ = setup
+        fl.pop()
+        fl.pop()
+        fabric.arm_suppression(ArrayName.FL, SignalKind.WRITE_ENABLE, 0)
+        fl.push(0)  # suppressed
+        fl.push(1)  # lands
+        assert fl.contents()[-1] == 1
+
+    def test_suppression_respects_from_cycle(self, setup):
+        fl, fabric, _ = setup
+        fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 5)
+        fabric.cycle = 1
+        assert fl.pop() == 0  # fires only at cycle >= 5
+        fabric.cycle = 5
+        assert fl.pop() == 1
+        assert fl.pop() == 1  # frozen pointer replays

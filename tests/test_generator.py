@@ -1,0 +1,47 @@
+"""Tests for the random-program generator."""
+
+import pytest
+
+from repro.isa.semantics import reference_run
+from repro.workloads.generator import random_program
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_generated_programs_halt(seed):
+    program = random_program(seed)
+    output, _, steps = reference_run(program, max_steps=1_000_000)
+    assert steps < 1_000_000
+
+
+def test_generator_deterministic():
+    a = random_program(42)
+    b = random_program(42)
+    assert a.instructions == b.instructions
+    assert a.initial_memory == b.initial_memory
+
+
+def test_different_seeds_differ():
+    assert random_program(1).instructions != random_program(2).instructions
+
+
+def test_blocks_scale_length():
+    short = random_program(3, blocks=2)
+    long = random_program(3, blocks=10)
+    assert len(long) > len(short)
+
+
+def test_every_block_outputs():
+    program = random_program(5, blocks=7)
+    output, _, _ = reference_run(program)
+    assert len(output) == 7
+
+
+def test_custom_name():
+    assert random_program(1, name="custom").name == "custom"
+
+
+def test_programs_contain_branches_and_memory():
+    program = random_program(11, blocks=8, block_len=12)
+    assert program.static_branch_count() >= 8
+    opcodes = {inst.opcode.value for inst in program.instructions}
+    assert "ld" in opcodes or "st" in opcodes

@@ -1,0 +1,87 @@
+"""Unit + property tests for the XOR code algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.idld.codes import expected_constant, extend, extension_bit, xor_fold
+
+
+class TestExtensionBit:
+    def test_128_registers_use_bit_7(self):
+        assert extension_bit(128) == 1 << 7
+
+    def test_nonpow2(self):
+        assert extension_bit(100) == 1 << 7
+
+    def test_small(self):
+        assert extension_bit(2) == 1 << 1
+
+    def test_extend_sets_bit(self):
+        assert extend(0, extension_bit(128)) == 128
+        assert extend(5, extension_bit(128)) == 128 + 5
+
+
+class TestExpectedConstant:
+    def test_power_of_two_is_zero(self):
+        """The paper's 128-register design checks against literal zero."""
+        for p in (4, 8, 64, 128, 256):
+            assert expected_constant(p) == 0
+
+    def test_constant_can_be_nonzero(self):
+        # 99 ids: the extension bit folds an odd number of times.
+        assert expected_constant(99) != 0
+
+    def test_constant_matches_full_fold(self):
+        for p in (100, 128, 96):
+            assert expected_constant(p) == xor_fold(range(p), extension_bit(p))
+
+
+class TestXorFold:
+    def test_empty_fold(self):
+        assert xor_fold([], 128) == 0
+
+    def test_pair_cancels(self):
+        assert xor_fold([5, 5], 128) == 0
+
+    def test_zero_id_visible(self):
+        """The whole point of the extension: id 0 changes the code."""
+        ext = extension_bit(128)
+        assert xor_fold([0], ext) != 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=127)))
+    def test_fold_is_order_independent(self, ids):
+        ext = extension_bit(128)
+        assert xor_fold(ids, ext) == xor_fold(list(reversed(ids)), ext)
+
+    @given(st.lists(st.integers(min_value=0, max_value=127)),
+           st.integers(min_value=0, max_value=127))
+    def test_fold_is_self_inverse(self, ids, extra):
+        ext = extension_bit(128)
+        base = xor_fold(ids, ext)
+        assert xor_fold(ids + [extra, extra], ext) == base
+
+    @given(st.sets(st.integers(min_value=0, max_value=127), min_size=1))
+    def test_single_leak_always_detected(self, present):
+        """Removing any one id from a complete multiset flips the code."""
+        ext = extension_bit(128)
+        complete = xor_fold(range(128), ext)
+        leaked = sorted(present)[0]
+        without = xor_fold([i for i in range(128) if i != leaked], ext)
+        assert without != complete
+
+    @given(st.integers(min_value=0, max_value=127))
+    def test_single_duplication_always_detected(self, dup):
+        ext = extension_bit(128)
+        complete = xor_fold(range(128), ext)
+        assert xor_fold(list(range(128)) + [dup], ext) != complete
+
+    @given(st.integers(min_value=0, max_value=127),
+           st.integers(min_value=0, max_value=127))
+    def test_combined_dup_and_leak_detected_unless_identical(self, dup, leak):
+        """A combined duplication+leakage (the counter scheme's blind spot,
+        Section V.E) is visible to the XOR code whenever dup != leak."""
+        ext = extension_bit(128)
+        complete = xor_fold(range(128), ext)
+        ids = [i for i in range(128) if i != leak] + [dup]
+        changed = xor_fold(ids, ext) != complete
+        assert changed == (dup != leak)

@@ -1,0 +1,119 @@
+"""Unit tests for the instruction definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BRANCH_OPCODES,
+    Instruction,
+    MEMORY_OPCODES,
+    NUM_LOGICAL_REGS,
+    Opcode,
+)
+
+
+class TestDestinationClassification:
+    def test_alu_writes_register(self):
+        inst = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert inst.writes_register
+
+    def test_load_writes_register(self):
+        inst = Instruction(Opcode.LD, rd=1, rs1=2, imm=0)
+        assert inst.writes_register
+
+    def test_store_does_not_write(self):
+        inst = Instruction(Opcode.ST, rs1=1, rs2=2, imm=0)
+        assert not inst.writes_register
+
+    def test_branch_does_not_write(self):
+        inst = Instruction(Opcode.BEQ, rs1=1, rs2=2, target=0)
+        assert not inst.writes_register
+
+    def test_out_does_not_write(self):
+        assert not Instruction(Opcode.OUT, rs1=1).writes_register
+
+    def test_halt_does_not_write(self):
+        assert not Instruction(Opcode.HALT).writes_register
+
+    def test_li_writes_register(self):
+        assert Instruction(Opcode.LI, rd=5, imm=1).writes_register
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.XOR,
+         Opcode.SLL, Opcode.SLT, Opcode.ADDI, Opcode.LD, Opcode.LI],
+    )
+    def test_dest_opcodes_require_rd(self, opcode):
+        with pytest.raises(ValueError):
+            Instruction(opcode)
+
+
+class TestControlFlowClassification:
+    @pytest.mark.parametrize("opcode", sorted(BRANCH_OPCODES, key=lambda o: o.value))
+    def test_branches_are_control_flow(self, opcode):
+        inst = Instruction(opcode, rs1=0, rs2=1, target=0)
+        assert inst.is_branch and inst.is_control_flow and not inst.is_jump
+
+    def test_jmp_is_control_flow_not_branch(self):
+        inst = Instruction(Opcode.JMP, target=0)
+        assert inst.is_jump and inst.is_control_flow and not inst.is_branch
+
+    def test_alu_is_not_control_flow(self):
+        assert not Instruction(Opcode.ADD, rd=1, rs1=1, rs2=1).is_control_flow
+
+
+class TestMemoryClassification:
+    def test_memory_opcodes(self):
+        assert MEMORY_OPCODES == {Opcode.LD, Opcode.ST}
+
+    def test_load_flags(self):
+        inst = Instruction(Opcode.LD, rd=1, rs1=2, imm=4)
+        assert inst.is_memory and inst.is_load and not inst.is_store
+
+    def test_store_flags(self):
+        inst = Instruction(Opcode.ST, rs1=1, rs2=2, imm=4)
+        assert inst.is_memory and inst.is_store and not inst.is_load
+
+
+class TestSourceRegisters:
+    def test_two_sources_ordered(self):
+        inst = Instruction(Opcode.SUB, rd=1, rs1=7, rs2=3)
+        assert inst.source_registers() == (7, 3)
+
+    def test_one_source(self):
+        inst = Instruction(Opcode.ADDI, rd=1, rs1=9, imm=1)
+        assert inst.source_registers() == (9,)
+
+    def test_no_sources(self):
+        assert Instruction(Opcode.LI, rd=1, imm=0).source_registers() == ()
+
+    def test_store_sources(self):
+        inst = Instruction(Opcode.ST, rs1=4, rs2=5, imm=0)
+        assert inst.source_registers() == (4, 5)
+
+
+class TestValidation:
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=NUM_LOGICAL_REGS, rs1=0, rs2=0)
+
+    def test_negative_register(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=1, rs1=-1, rs2=0)
+
+    def test_max_register_accepted(self):
+        inst = Instruction(
+            Opcode.ADD,
+            rd=NUM_LOGICAL_REGS - 1,
+            rs1=NUM_LOGICAL_REGS - 1,
+            rs2=NUM_LOGICAL_REGS - 1,
+        )
+        assert inst.rd == NUM_LOGICAL_REGS - 1
+
+    def test_uses_immediate(self):
+        assert Instruction(Opcode.ADDI, rd=1, rs1=1, imm=3).uses_immediate
+        assert not Instruction(Opcode.ADD, rd=1, rs1=1, rs2=1).uses_immediate
+
+    def test_label_not_part_of_equality(self):
+        a = Instruction(Opcode.JMP, target=0, label="x")
+        b = Instruction(Opcode.JMP, target=0, label="y")
+        assert a == b

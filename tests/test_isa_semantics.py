@@ -1,0 +1,132 @@
+"""Unit + property tests for the pure functional semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import Opcode, WORD_MASK
+from repro.isa.semantics import branch_taken, execute_op, to_signed, to_unsigned
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+small = st.integers(min_value=0, max_value=1 << 20)
+
+
+class TestSignedness:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(WORD_MASK) == -1
+
+    def test_to_signed_min(self):
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    @given(words)
+    def test_roundtrip(self, w):
+        assert to_unsigned(to_signed(w)) == w
+
+
+class TestAlu:
+    def test_add_wraps(self):
+        assert execute_op(Opcode.ADD, WORD_MASK, 1) == 0
+
+    def test_sub_wraps(self):
+        assert execute_op(Opcode.SUB, 0, 1) == WORD_MASK
+
+    def test_mul(self):
+        assert execute_op(Opcode.MUL, 7, 6) == 42
+
+    def test_mul_wraps(self):
+        assert execute_op(Opcode.MUL, 1 << 63, 2) == 0
+
+    def test_div_truncates_toward_zero(self):
+        neg7 = to_unsigned(-7)
+        assert to_signed(execute_op(Opcode.DIV, neg7, 2)) == -3
+
+    def test_div_by_zero_is_all_ones(self):
+        assert execute_op(Opcode.DIV, 123, 0) == WORD_MASK
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert execute_op(Opcode.REM, 123, 0) == 123
+
+    def test_rem_sign_follows_dividend(self):
+        neg7 = to_unsigned(-7)
+        assert to_signed(execute_op(Opcode.REM, neg7, 2)) == -1
+
+    def test_and_or_xor(self):
+        assert execute_op(Opcode.AND, 0b1100, 0b1010) == 0b1000
+        assert execute_op(Opcode.OR, 0b1100, 0b1010) == 0b1110
+        assert execute_op(Opcode.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_sll_uses_low_six_bits(self):
+        assert execute_op(Opcode.SLL, 1, 64) == 1  # shift amount 64 & 63 == 0
+
+    def test_srl_logical(self):
+        assert execute_op(Opcode.SRL, WORD_MASK, 63) == 1
+
+    def test_sra_arithmetic(self):
+        assert to_signed(execute_op(Opcode.SRA, to_unsigned(-8), 2)) == -2
+
+    def test_slt_signed(self):
+        assert execute_op(Opcode.SLT, to_unsigned(-1), 0) == 1
+        assert execute_op(Opcode.SLT, 0, to_unsigned(-1)) == 0
+
+    def test_sltu_unsigned(self):
+        assert execute_op(Opcode.SLTU, 0, to_unsigned(-1)) == 1
+
+    def test_li_returns_immediate(self):
+        assert execute_op(Opcode.LI, 0, 99) == 99
+
+    def test_immediate_forms_match_register_forms(self):
+        assert execute_op(Opcode.ADDI, 5, 3) == execute_op(Opcode.ADD, 5, 3)
+        assert execute_op(Opcode.ANDI, 12, 10) == execute_op(Opcode.AND, 12, 10)
+
+    def test_branch_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            execute_op(Opcode.BEQ, 1, 1)
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_results_always_fit_in_word(self, a, b):
+        for opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+                       Opcode.REM, Opcode.SLL, Opcode.SRA, Opcode.XOR):
+            assert 0 <= execute_op(opcode, a, b) <= WORD_MASK
+
+    @given(words, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=40)
+    def test_shift_pair_inverse_on_top_bits(self, a, s):
+        shifted = execute_op(Opcode.SRL, execute_op(Opcode.SLL, a, s), s)
+        mask = WORD_MASK >> s
+        assert shifted == a & mask
+
+
+class TestBranches:
+    def test_beq(self):
+        assert branch_taken(Opcode.BEQ, 5, 5)
+        assert not branch_taken(Opcode.BEQ, 5, 6)
+
+    def test_bne(self):
+        assert branch_taken(Opcode.BNE, 5, 6)
+        assert not branch_taken(Opcode.BNE, 5, 5)
+
+    def test_blt_signed(self):
+        assert branch_taken(Opcode.BLT, to_unsigned(-1), 0)
+        assert not branch_taken(Opcode.BLT, 0, to_unsigned(-1))
+
+    def test_bge_signed(self):
+        assert branch_taken(Opcode.BGE, 0, to_unsigned(-1))
+        assert branch_taken(Opcode.BGE, 3, 3)
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            branch_taken(Opcode.ADD, 0, 0)
+
+    @given(words, words)
+    @settings(max_examples=40)
+    def test_blt_bge_complementary(self, a, b):
+        assert branch_taken(Opcode.BLT, a, b) != branch_taken(Opcode.BGE, a, b)
+
+    @given(words, words)
+    @settings(max_examples=40)
+    def test_beq_bne_complementary(self, a, b):
+        assert branch_taken(Opcode.BEQ, a, b) != branch_taken(Opcode.BNE, a, b)

@@ -1,0 +1,101 @@
+"""Unit tests for the data memory and store queue."""
+
+import pytest
+
+from repro.core.errors import MemoryFault
+from repro.core.lsq import DataMemory, StoreQueue
+
+
+class TestDataMemory:
+    def test_uninitialized_reads_zero(self):
+        assert DataMemory(1024).read(5) == 0
+
+    def test_initial_image(self):
+        memory = DataMemory(1024, {3: 7})
+        assert memory.read(3) == 7
+
+    def test_committed_write_read_back(self):
+        memory = DataMemory(1024)
+        memory.committed_write(1, 10, 42)
+        assert memory.read(10) == 42
+
+    def test_committed_write_faults_outside_window(self):
+        memory = DataMemory(1024)
+        with pytest.raises(MemoryFault):
+            memory.committed_write(1, 1024, 0)
+
+    def test_committed_read_check_faults(self):
+        memory = DataMemory(1024)
+        with pytest.raises(MemoryFault):
+            memory.check_committed_read(1, 99999)
+
+    def test_speculative_read_never_faults(self):
+        assert DataMemory(16).read(1 << 40) == 0
+
+    def test_fault_carries_cycle_and_address(self):
+        try:
+            DataMemory(16).committed_write(77, 100, 0)
+        except MemoryFault as fault:
+            assert fault.cycle == 77 and fault.address == 100
+
+
+class TestStoreQueue:
+    def test_allocate_and_resolve(self):
+        sq = StoreQueue(4)
+        sq.allocate(1)
+        sq.resolve(1, 100, 55)
+        stall, value = sq.forward_for_load(2, 100)
+        assert not stall and value == 55
+
+    def test_unresolved_older_store_stalls_load(self):
+        sq = StoreQueue(4)
+        sq.allocate(1)
+        stall, _ = sq.forward_for_load(2, 100)
+        assert stall
+
+    def test_younger_store_ignored(self):
+        sq = StoreQueue(4)
+        sq.allocate(5)
+        stall, value = sq.forward_for_load(2, 100)
+        assert not stall and value is None
+
+    def test_newest_older_match_wins(self):
+        sq = StoreQueue(4)
+        sq.allocate(1)
+        sq.resolve(1, 100, 11)
+        sq.allocate(2)
+        sq.resolve(2, 100, 22)
+        _, value = sq.forward_for_load(3, 100)
+        assert value == 22
+
+    def test_different_address_reads_memory(self):
+        sq = StoreQueue(4)
+        sq.allocate(1)
+        sq.resolve(1, 100, 11)
+        stall, value = sq.forward_for_load(2, 200)
+        assert not stall and value is None
+
+    def test_release(self):
+        sq = StoreQueue(4)
+        sq.allocate(1)
+        sq.resolve(1, 100, 11)
+        assert sq.release(1) is not None
+        _, value = sq.forward_for_load(2, 100)
+        assert value is None
+
+    def test_release_missing_returns_none(self):
+        assert StoreQueue(4).release(9) is None
+
+    def test_squash_after(self):
+        sq = StoreQueue(4)
+        for seq in (1, 2, 3):
+            sq.allocate(seq)
+        sq.squash_after(1)
+        assert sq.occupancy == 1
+
+    def test_full(self):
+        sq = StoreQueue(2)
+        sq.allocate(1)
+        assert not sq.full
+        sq.allocate(2)
+        assert sq.full

@@ -1,0 +1,136 @@
+"""Unit tests for Program and ProgramBuilder."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode, WORD_MASK
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.semantics import reference_run
+
+
+class TestBuilder:
+    def test_simple_build(self):
+        b = ProgramBuilder("t")
+        b.li(1, 5)
+        b.out(1)
+        b.halt()
+        program = b.build()
+        assert len(program) == 3
+        assert program.name == "t"
+
+    def test_label_resolution(self):
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.label("loop")
+        b.addi(1, 1, 1)
+        b.li(2, 3)
+        b.blt(1, 2, "loop")
+        b.halt()
+        program = b.build()
+        assert program.instructions[3].target == 1
+
+    def test_forward_label(self):
+        b = ProgramBuilder()
+        b.jmp("end")
+        b.nop()
+        b.label("end")
+        b.halt()
+        assert b.build().instructions[0].target == 2
+
+    def test_undefined_label_raises_at_build(self):
+        b = ProgramBuilder()
+        b.jmp("missing")
+        b.halt()
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_duplicate_label_raises_immediately(self):
+        b = ProgramBuilder()
+        b.label("x")
+        b.nop()
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_data_masks_to_word(self):
+        b = ProgramBuilder()
+        b.data(10, [1 << 70])
+        b.halt()
+        assert b.build().initial_memory[10] == ((1 << 70) & WORD_MASK)
+
+    def test_data_consecutive_addresses(self):
+        b = ProgramBuilder()
+        b.data(5, [7, 8, 9])
+        b.halt()
+        assert b.build().initial_memory == {5: 7, 6: 8, 7: 9}
+
+    def test_chaining(self):
+        program = ProgramBuilder("c").li(1, 1).out(1).halt().build()
+        assert len(program) == 3
+
+    def test_builder_runs_correctly(self):
+        b = ProgramBuilder()
+        b.li(1, 6)
+        b.li(2, 7)
+        b.mul(3, 1, 2)
+        b.out(3)
+        b.halt()
+        output, _, _ = reference_run(b.build())
+        assert output == [42]
+
+    @pytest.mark.parametrize(
+        "method,expected",
+        [
+            ("add", Opcode.ADD), ("sub", Opcode.SUB), ("mul", Opcode.MUL),
+            ("div", Opcode.DIV), ("rem", Opcode.REM), ("and_", Opcode.AND),
+            ("or_", Opcode.OR), ("xor", Opcode.XOR), ("sll", Opcode.SLL),
+            ("srl", Opcode.SRL), ("sra", Opcode.SRA), ("slt", Opcode.SLT),
+            ("sltu", Opcode.SLTU),
+        ],
+    )
+    def test_rrr_methods(self, method, expected):
+        b = ProgramBuilder()
+        getattr(b, method)(1, 2, 3)
+        b.halt()
+        assert b.build().instructions[0].opcode is expected
+
+    @pytest.mark.parametrize(
+        "method,expected",
+        [
+            ("addi", Opcode.ADDI), ("andi", Opcode.ANDI), ("ori", Opcode.ORI),
+            ("xori", Opcode.XORI), ("slli", Opcode.SLLI), ("srli", Opcode.SRLI),
+            ("slti", Opcode.SLTI),
+        ],
+    )
+    def test_rri_methods(self, method, expected):
+        b = ProgramBuilder()
+        getattr(b, method)(1, 2, 3)
+        b.halt()
+        assert b.build().instructions[0].opcode is expected
+
+
+class TestProgramValidation:
+    def test_invalid_branch_target_rejected(self):
+        inst = Instruction(Opcode.JMP, target=5)
+        with pytest.raises(ValueError):
+            Program([inst])
+
+    def test_negative_data_address_rejected(self):
+        with pytest.raises(ValueError):
+            Program([Instruction(Opcode.HALT)], initial_memory={-1: 0})
+
+    def test_memory_values_masked(self):
+        program = Program(
+            [Instruction(Opcode.HALT)], initial_memory={0: 1 << 70}
+        )
+        assert program.initial_memory[0] == (1 << 70) & WORD_MASK
+
+    def test_static_counts(self):
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.label("x")
+        b.st(1, 1, 0)
+        b.blt(1, 1, "x")
+        b.beq(1, 1, "x")
+        b.halt()
+        program = b.build()
+        assert program.static_branch_count() == 2
+        assert program.static_store_count() == 1

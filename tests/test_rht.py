@@ -1,0 +1,113 @@
+"""Unit tests for the Register History Table."""
+
+import pytest
+
+from repro.core.errors import SimulatorAssertion
+from repro.core.rrs.rht import RegisterHistoryTable
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+
+
+@pytest.fixture()
+def setup():
+    fabric = SignalFabric()
+    rht = RegisterHistoryTable(8, fabric, [])
+    return rht, fabric
+
+
+class TestLogging:
+    def test_log_advances_tail(self, setup):
+        rht, _ = setup
+        rht.log(True, 3, 40)
+        assert rht.tail_pos == 1
+
+    def test_slot_contents(self, setup):
+        rht, _ = setup
+        rht.log(True, 3, 40)
+        entry = rht.read_slot(0)
+        assert (entry.has_dest, entry.ldst, entry.new_pdst) == (True, 3, 40)
+
+    def test_destless_entries_logged(self, setup):
+        rht, _ = setup
+        rht.log(False, 0, 0)
+        assert rht.tail_pos == 1
+        assert not rht.read_slot(0).has_dest
+
+    def test_occupancy(self, setup):
+        rht, _ = setup
+        for i in range(5):
+            rht.log(True, i % 4, i)
+        assert rht.occupancy == 5
+        rht.advance_head(3)
+        assert rht.occupancy == 2
+
+    def test_overflow_raises(self, setup):
+        rht, _ = setup
+        for i in range(8):
+            rht.log(True, 0, i)
+        with pytest.raises(SimulatorAssertion):
+            rht.log(True, 0, 9)
+
+    def test_ring_reuse(self, setup):
+        rht, _ = setup
+        for i in range(8):
+            rht.log(True, 0, i)
+        rht.advance_head(4)
+        rht.log(True, 1, 99)
+        assert rht.read_slot(8).new_pdst == 99
+        assert rht.read_slot(8) is rht.read_slot(0)  # same physical slot
+
+
+class TestWriteSuppression:
+    def test_suppressed_write_freezes_slot_and_tail(self, setup):
+        rht, fabric = setup
+        rht.log(True, 1, 10)
+        fabric.arm_suppression(ArrayName.RHT, SignalKind.WRITE_ENABLE, 0)
+        rht.log(True, 2, 20)  # dropped entirely
+        assert rht.tail_pos == 1
+        rht.log(True, 3, 30)  # lands where the dropped entry should have
+        assert rht.read_slot(1).new_pdst == 30
+
+
+class TestRecovery:
+    def test_restore_tail(self, setup):
+        rht, _ = setup
+        for i in range(6):
+            rht.log(True, 0, i)
+        assert rht.restore_tail(2)
+        assert rht.tail_pos == 2
+
+    def test_suppressed_restore_keeps_tail(self, setup):
+        rht, fabric = setup
+        for i in range(6):
+            rht.log(True, 0, i)
+        fabric.arm_suppression(ArrayName.RHT, SignalKind.RECOVERY, 0)
+        assert not rht.restore_tail(2)
+        assert rht.tail_pos == 6
+
+    def test_restore_below_head_raises(self, setup):
+        rht, _ = setup
+        for i in range(6):
+            rht.log(True, 0, i)
+        rht.advance_head(4)
+        with pytest.raises(SimulatorAssertion):
+            rht.restore_tail(2)
+
+    def test_walk_advance_gating(self, setup):
+        rht, fabric = setup
+        fabric.arm_suppression(ArrayName.RHT, SignalKind.READ_ENABLE, 0)
+        assert not rht.walk_advance()  # one-shot suppression
+        assert rht.walk_advance()
+
+    def test_head_never_passes_tail(self, setup):
+        rht, _ = setup
+        rht.log(True, 0, 1)
+        rht.advance_head(99)
+        assert rht.head_pos == rht.tail_pos
+
+    def test_head_never_retreats(self, setup):
+        rht, _ = setup
+        for i in range(4):
+            rht.log(True, 0, i)
+        rht.advance_head(3)
+        rht.advance_head(1)
+        assert rht.head_pos == 3

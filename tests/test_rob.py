@@ -1,0 +1,161 @@
+"""Unit tests for the ReOrder Buffer."""
+
+import pytest
+
+from repro.core.errors import SimulatorAssertion
+from repro.core.rrs.rob import ReorderBuffer
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+
+from tests.support import RecordingObserver
+
+
+@pytest.fixture()
+def setup():
+    fabric = SignalFabric()
+    observer = RecordingObserver()
+    rob = ReorderBuffer(8, fabric, [observer])
+    return rob, fabric, observer
+
+
+def fill(rob, count, start_seq=0, has_dest=True):
+    for i in range(count):
+        seq = start_seq + i
+        rob.allocate(seq, uop=f"u{seq}", has_dest=has_dest,
+                     evicted_pdst=100 + seq, new_pdst=200 + seq)
+
+
+class TestAllocationCommit:
+    def test_fifo_commit_order(self, setup):
+        rob, _, _ = setup
+        fill(rob, 3)
+        reclaims = [rob.commit_read() for _ in range(3)]
+        assert reclaims == [(True, 100), (True, 101), (True, 102)]
+
+    def test_head_slot_exposes_oldest(self, setup):
+        rob, _, _ = setup
+        fill(rob, 2)
+        assert rob.head_slot.seq == 0
+        rob.commit_read()
+        assert rob.head_slot.seq == 1
+
+    def test_occupancy(self, setup):
+        rob, _, _ = setup
+        fill(rob, 5)
+        assert rob.count == 5 and not rob.full and not rob.empty
+        fill(rob, 3, start_seq=5)
+        assert rob.full
+
+    def test_overflow_raises(self, setup):
+        rob, _, _ = setup
+        fill(rob, 8)
+        with pytest.raises(SimulatorAssertion):
+            rob.allocate(8, None, True, 0, 0)
+
+    def test_underflow_raises(self, setup):
+        rob, _, _ = setup
+        with pytest.raises(SimulatorAssertion):
+            rob.commit_read()
+
+    def test_no_dest_entry_reclaims_nothing(self, setup):
+        rob, _, obs = setup
+        fill(rob, 1, has_dest=False)
+        has_dest, _ = rob.commit_read()
+        assert not has_dest
+        assert obs.of_kind("rob_pdst_read") == []
+
+    def test_events_on_write_and_read(self, setup):
+        rob, _, obs = setup
+        fill(rob, 1)
+        assert obs.of_kind("rob_pdst_write") == [("rob_pdst_write", 100, 0)]
+        rob.commit_read()
+        assert obs.of_kind("rob_pdst_read") == [("rob_pdst_read", 100, 0)]
+
+    def test_slots_reused_after_wrap(self, setup):
+        rob, _, _ = setup
+        fill(rob, 8)
+        for _ in range(8):
+            rob.commit_read()
+        fill(rob, 8, start_seq=8)
+        assert rob.commit_read() == (True, 108)
+
+
+class TestWriteSuppression:
+    def test_suppressed_field_write_keeps_stale_value(self, setup):
+        rob, fabric, _ = setup
+        fill(rob, 8)
+        for _ in range(8):
+            rob.commit_read()
+        fabric.arm_suppression(ArrayName.ROB, SignalKind.WRITE_ENABLE, 0)
+        fill(rob, 1, start_seq=8)  # field write suppressed
+        # The slot (reused from seq 0) still holds seq 0's evicted id.
+        assert rob.commit_read() == (True, 100)
+
+    def test_suppressed_write_emits_no_event(self, setup):
+        rob, fabric, obs = setup
+        fabric.arm_suppression(ArrayName.ROB, SignalKind.WRITE_ENABLE, 0)
+        fill(rob, 1)
+        assert obs.of_kind("rob_pdst_write") == []
+
+
+class TestReadSuppression:
+    def test_lagging_pointer_duplicates_then_shifts(self, setup):
+        rob, fabric, _ = setup
+        fill(rob, 4)
+        fabric.arm_suppression(ArrayName.ROB, SignalKind.READ_ENABLE, 0)
+        values = [rob.commit_read()[1] for _ in range(4)]
+        # First reclaim frozen: 100 delivered twice, then lag-by-one.
+        assert values == [100, 100, 101, 102]
+        assert rob.read_lag == 1
+
+    def test_suppressed_read_emits_no_event(self, setup):
+        rob, fabric, obs = setup
+        fill(rob, 1)
+        fabric.arm_suppression(ArrayName.ROB, SignalKind.READ_ENABLE, 0)
+        rob.commit_read()
+        assert obs.of_kind("rob_pdst_read") == []
+
+    def test_no_dest_commits_do_not_consult_read_enable(self, setup):
+        rob, fabric, _ = setup
+        fill(rob, 2, has_dest=False)
+        fill(rob, 1, start_seq=2)
+        armed = fabric.arm_suppression(ArrayName.ROB, SignalKind.READ_ENABLE, 0)
+        rob.commit_read()
+        rob.commit_read()
+        assert not armed.fired  # only dest reclaims touch the read port
+        rob.commit_read()
+        assert armed.fired
+
+
+class TestSquash:
+    def test_squash_moves_tail(self, setup):
+        rob, _, _ = setup
+        fill(rob, 6)
+        assert rob.squash_after(2)
+        assert rob.count == 3  # seqs 0..2 remain
+
+    def test_squash_never_moves_below_head(self, setup):
+        rob, _, _ = setup
+        fill(rob, 4)
+        rob.commit_read()
+        rob.commit_read()
+        rob.squash_after(0)  # older than head: clamp to head
+        assert rob.count == 0
+
+    def test_suppressed_squash_keeps_entries(self, setup):
+        rob, fabric, _ = setup
+        fill(rob, 6)
+        fabric.arm_suppression(ArrayName.ROB, SignalKind.RECOVERY, 0)
+        assert not rob.squash_after(2)
+        assert rob.count == 6
+
+    def test_live_evicted_ids(self, setup):
+        rob, _, _ = setup
+        fill(rob, 3)
+        rob.squash_after(1)
+        assert rob.live_evicted_ids() == [100, 101]
+
+    def test_squash_beyond_tail_raises(self, setup):
+        rob, _, _ = setup
+        fill(rob, 2)
+        with pytest.raises(SimulatorAssertion):
+            rob.squash_after(5)

@@ -1,0 +1,140 @@
+"""Tests for the structural RTL cost model (Table II)."""
+
+import pytest
+
+from repro.rtl import (
+    LIBRARY,
+    Macro,
+    Netlist,
+    PAPER_TABLE_II,
+    baseline_rrs,
+    evaluate_width,
+    idld_extension,
+    port_sharing,
+    sweep_widths,
+    table_ii_report,
+    whole_core_overhead,
+)
+from repro.rtl.components import flop_array, read_port, write_port, xor_tree
+
+WIDTHS = (1, 2, 4, 6, 8)
+
+
+class TestComponents:
+    def test_macro_rollup(self):
+        macro = Macro("m", activity=2.0)
+        macro.add("dff", 10)
+        assert macro.area_um2 == pytest.approx(10 * LIBRARY["dff"].area_um2)
+        assert macro.energy_pj == pytest.approx(
+            2.0 * 10 * LIBRARY["dff"].energy_pj
+        )
+
+    def test_flop_array_scales_with_bits(self):
+        small = flop_array("a", 16, 4, 1.0)
+        large = flop_array("b", 16, 8, 1.0)
+        assert large.area_um2 > small.area_um2
+
+    def test_read_port_scales_with_entries(self):
+        assert (
+            read_port("a", 128, 8, 1.0).area_um2
+            > read_port("b", 32, 8, 1.0).area_um2
+        )
+
+    def test_xor_tree_empty(self):
+        assert xor_tree("t", 0, 8, 1.0).area_um2 == 0
+
+    def test_xor_tree_grows_with_inputs(self):
+        assert (
+            xor_tree("a", 9, 8, 1.0).area_um2
+            > xor_tree("b", 3, 8, 1.0).area_um2
+        )
+
+    def test_netlist_breakdown(self):
+        net = Netlist("n")
+        net.add(flop_array("x", 4, 4, 1.0))
+        assert "x" in net.breakdown()
+        assert net.area_um2() > 0
+
+
+class TestPortSharing:
+    def test_normalized_at_one(self):
+        assert port_sharing(1) == pytest.approx(1.0)
+
+    def test_monotone_saturating(self):
+        values = [port_sharing(w) for w in range(1, 9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+        increments = [b - a for a, b in zip(values, values[1:])]
+        assert all(a > b for a, b in zip(increments, increments[1:]))
+
+
+class TestBaseline:
+    def test_area_grows_with_width(self):
+        areas = [baseline_rrs(w).area_um2() for w in WIDTHS]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_growth_saturates_like_paper(self):
+        """Paper baseline: +45% from 1->2 wide, +4% from 6->8 wide."""
+        areas = {w: baseline_rrs(w).area_um2() for w in WIDTHS}
+        early_growth = areas[2] / areas[1] - 1
+        late_growth = areas[8] / areas[6] - 1
+        assert early_growth > 2 * late_growth
+
+    def test_order_of_magnitude_matches_paper(self):
+        for width in WIDTHS:
+            model = baseline_rrs(width).area_um2()
+            paper = PAPER_TABLE_II[width][0]
+            assert 0.5 < model / paper < 2.0
+
+
+class TestOverheadShape:
+    """The reproduction target: Table II's relative overheads."""
+
+    def test_area_overhead_small_at_narrow_widths(self):
+        for width in (1, 2):
+            point = evaluate_width(width)
+            assert point.area_overhead < 0.06  # paper: ~3%
+
+    def test_area_overhead_steps_up_at_wide(self):
+        for width in (4, 6, 8):
+            point = evaluate_width(width)
+            assert 0.08 < point.area_overhead < 0.15  # paper: 10-12.6%
+
+    def test_area_overhead_never_exceeds_paper_band(self):
+        for point in sweep_widths():
+            assert point.area_overhead <= 0.15
+
+    def test_energy_overhead_band(self):
+        for point in sweep_widths():
+            assert 0.03 < point.energy_overhead < 0.13  # paper: 4-12%
+
+    def test_energy_overhead_at_least_area_trend(self):
+        """Energy overhead grows with width (trees toggle every cycle)."""
+        points = sweep_widths()
+        assert points[-1].energy_overhead > points[0].energy_overhead
+
+    def test_idld_design_strictly_larger(self):
+        for point in sweep_widths():
+            assert point.idld_area_um2 > point.base_area_um2
+            assert point.idld_energy_pj > point.base_energy_pj
+
+    def test_extension_absolute_step_between_2_and_4(self):
+        """The paper's IDLD delta jumps ~5x between 2- and 4-wide."""
+        ext2 = idld_extension(2).area_um2()
+        ext4 = idld_extension(4).area_um2()
+        assert ext4 > 3 * ext2
+
+
+class TestWholeCoreEstimate:
+    def test_two_way_estimate_near_paper(self):
+        assert 0.0008 < whole_core_overhead(2) < 0.0016  # paper: 0.12%
+
+
+class TestReport:
+    def test_report_renders_all_widths(self):
+        text = table_ii_report()
+        for width in WIDTHS:
+            assert f"\n{width:>5} " in text
+        assert "0.12%" in text or "core area" in text
+
+    def test_report_contains_paper_reference(self):
+        assert "(paper" in table_ii_report()

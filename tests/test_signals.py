@@ -1,0 +1,120 @@
+"""Unit tests for the signal fabric and Table I signal inventory."""
+
+import pytest
+
+from repro.core.rrs.signals import (
+    ArrayName,
+    DUPLICATION_SIGNALS,
+    EXTENDED_SIGNALS,
+    LEAKAGE_SIGNALS,
+    SignalFabric,
+    SignalKind,
+    TABLE_I,
+)
+
+
+class TestTableI:
+    def test_every_array_has_signals(self):
+        arrays = {array for array, _ in TABLE_I}
+        assert arrays == set(ArrayName)
+
+    def test_fl_signals(self):
+        kinds = {kind for array, kind in TABLE_I if array is ArrayName.FL}
+        assert kinds == {SignalKind.READ_ENABLE, SignalKind.WRITE_ENABLE}
+
+    def test_rat_signals(self):
+        kinds = {kind for array, kind in TABLE_I if array is ArrayName.RAT}
+        assert kinds == {SignalKind.WRITE_ENABLE, SignalKind.RECOVERY}
+
+    def test_ckpt_only_checkpoint(self):
+        kinds = {kind for array, kind in TABLE_I if array is ArrayName.CKPT}
+        assert kinds == {SignalKind.CHECKPOINT}
+
+    def test_rob_rht_have_recovery(self):
+        for array in (ArrayName.ROB, ArrayName.RHT):
+            assert (array, SignalKind.RECOVERY) in TABLE_I
+
+    def test_model_groups_are_valid_signals(self):
+        for group in (DUPLICATION_SIGNALS, LEAKAGE_SIGNALS, EXTENDED_SIGNALS):
+            for pair in group:
+                assert pair in TABLE_I
+
+    def test_model_groups_disjoint(self):
+        assert not set(DUPLICATION_SIGNALS) & set(LEAKAGE_SIGNALS)
+        assert not set(DUPLICATION_SIGNALS) & set(EXTENDED_SIGNALS)
+        assert not set(LEAKAGE_SIGNALS) & set(EXTENDED_SIGNALS)
+
+
+class TestSuppression:
+    def test_default_asserted(self):
+        fabric = SignalFabric()
+        assert fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE)
+
+    def test_one_shot_fire(self):
+        fabric = SignalFabric()
+        armed = fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 0)
+        assert not fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE)
+        assert fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE)
+        assert armed.fired and armed.fired_cycle == 0
+
+    def test_waits_for_cycle(self):
+        fabric = SignalFabric()
+        armed = fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 10)
+        fabric.cycle = 9
+        assert fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE)
+        fabric.cycle = 10
+        assert not fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE)
+        assert armed.fired_cycle == 10
+
+    def test_other_signals_unaffected(self):
+        fabric = SignalFabric()
+        fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 0)
+        assert fabric.asserted(ArrayName.FL, SignalKind.WRITE_ENABLE)
+        assert fabric.asserted(ArrayName.ROB, SignalKind.READ_ENABLE)
+
+    def test_invalid_signal_rejected(self):
+        fabric = SignalFabric()
+        with pytest.raises(ValueError):
+            fabric.arm_suppression(ArrayName.FL, SignalKind.CHECKPOINT, 0)
+
+    def test_two_armed_fire_independently(self):
+        fabric = SignalFabric()
+        a = fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 0)
+        b = fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 0)
+        fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE)
+        assert a.fired and not b.fired
+
+    def test_any_armed(self):
+        fabric = SignalFabric()
+        assert not fabric.any_armed
+        fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 0)
+        assert fabric.any_armed
+        fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE)
+        assert not fabric.any_armed
+
+
+class TestCorruption:
+    def test_corrupts_once(self):
+        fabric = SignalFabric()
+        armed = fabric.arm_corruption(0, xor_mask=0b11)
+        assert fabric.corrupt_pdst(5) == 5 ^ 0b11
+        assert fabric.corrupt_pdst(5) == 5
+        assert armed.original == 5 and armed.corrupted == 5 ^ 0b11
+
+    def test_activations_sorted(self):
+        fabric = SignalFabric()
+        fabric.arm_corruption(0, xor_mask=1)
+        fabric.arm_suppression(ArrayName.FL, SignalKind.READ_ENABLE, 0)
+        fabric.cycle = 7
+        fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE)
+        fabric.cycle = 3  # artificial, to check sorting
+        fabric.corrupt_pdst(1)
+        assert fabric.activations == [3, 7]
+
+    def test_describe_mentions_state(self):
+        fabric = SignalFabric()
+        fabric.arm_suppression(ArrayName.RAT, SignalKind.WRITE_ENABLE, 5)
+        fabric.arm_corruption(9, xor_mask=3)
+        text = "\n".join(fabric.describe())
+        assert "RAT.write_enable" in text and "armed@5" in text
+        assert "mask=0x3" in text

@@ -1,0 +1,92 @@
+"""Tests for the RRS tracer."""
+
+import pytest
+
+from repro.analysis.trace import RRSTracer, TraceEvent
+from repro.core import OoOCore
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+from repro.idld import IDLDChecker
+from repro.isa.program import ProgramBuilder
+
+
+def small_program():
+    b = ProgramBuilder("trace")
+    b.li(31, 0)
+    b.li(1, 0)
+    b.li(2, 20)
+    b.label("loop")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "loop")
+    b.out(1)
+    b.halt()
+    return b.build()
+
+
+class TestRecording:
+    def test_records_all_port_kinds(self):
+        tracer = RRSTracer()
+        core = OoOCore(small_program(), observers=[tracer])
+        core.run()
+        kinds = {event.kind for event in tracer.events()}
+        assert {"FL.pop", "FL.push", "RAT.write", "ROB.write", "ROB.read"} <= kinds
+
+    def test_cycle_stamps_monotone(self):
+        tracer = RRSTracer()
+        OoOCore(small_program(), observers=[tracer]).run()
+        cycles = [e.cycle for e in tracer.events()]
+        assert cycles == sorted(cycles)
+
+    def test_capacity_bound(self):
+        tracer = RRSTracer(capacity=10)
+        OoOCore(small_program(), observers=[tracer]).run()
+        assert len(tracer.events()) == 10
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RRSTracer(capacity=0)
+
+    def test_recovery_markers(self):
+        tracer = RRSTracer()
+        core = OoOCore(small_program(), observers=[tracer])
+        result = core.run()
+        if result.stats["flushes"]:
+            kinds = {e.kind for e in tracer.events()}
+            assert "RECOVERY" in kinds and "CKPT.restore" in kinds
+
+
+class TestWindowing:
+    def test_window_filters_by_cycle(self):
+        tracer = RRSTracer()
+        OoOCore(small_program(), observers=[tracer]).run()
+        window = tracer.window(around_cycle=5, radius=2)
+        assert window
+        assert all(3 <= e.cycle <= 7 for e in window)
+
+    def test_render_contains_details(self):
+        tracer = RRSTracer()
+        OoOCore(small_program(), observers=[tracer]).run()
+        text = tracer.render()
+        assert "allocate p" in text and "reclaim p" in text
+
+    def test_render_window_around_violation(self):
+        """The intended workflow: IDLD pins the cycle, the trace shows it."""
+        fabric = SignalFabric()
+        armed = fabric.arm_suppression(ArrayName.RAT, SignalKind.WRITE_ENABLE, 4)
+        tracer = RRSTracer()
+        checker = IDLDChecker()
+        core = OoOCore(
+            small_program(), observers=[tracer, checker], fabric=fabric
+        )
+        core.run(max_cycles=2_000)
+        assert armed.fired and checker.detected
+        text = tracer.render(around_cycle=checker.first_detection_cycle)
+        assert text  # a populated window exists at the detection point
+
+
+class TestPowerOnReset:
+    def test_power_on_clears(self):
+        tracer = RRSTracer()
+        OoOCore(small_program(), observers=[tracer]).run()
+        # A second core reusing the tracer restarts the buffer.
+        OoOCore(small_program(), observers=[tracer]).run()
+        assert tracer.events()[0].kind == "power_on" or len(tracer.events()) > 0

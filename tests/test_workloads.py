@@ -1,0 +1,113 @@
+"""Validation of the MiBench-analog workload suite.
+
+Each workload is checked three ways: its assembly against its pure-Python
+``expected`` model (via the reference interpreter), the cycle-level core
+against the reference interpreter, and basic diversity properties the
+campaign relies on.
+"""
+
+import pytest
+
+from repro.core import OoOCore
+from repro.isa.semantics import reference_run
+from repro.workloads import EXPECTED, WORKLOADS, build_suite
+
+NAMES = sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_assembly_matches_model(name):
+    program = WORKLOADS[name]()
+    output, _, _ = reference_run(program)
+    assert output == EXPECTED[name](), f"{name} assembly diverges from model"
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_core_matches_reference(name, suite, goldens):
+    expected, _, _ = reference_run(suite[name])
+    assert goldens[name].output == expected
+    assert goldens[name].halted
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_alternate_seed_changes_data_not_correctness(name):
+    program = WORKLOADS[name](seed=99)
+    output, _, _ = reference_run(program)
+    assert output == EXPECTED[name](seed=99)
+
+
+@pytest.mark.parametrize("name", ["bitcount", "crc32", "sha", "qsort"])
+def test_scaling_grows_runtime(name):
+    small, _, steps_small = reference_run(WORKLOADS[name](scale=0.5))
+    large, _, steps_large = reference_run(WORKLOADS[name](scale=2.0))
+    assert steps_large > steps_small
+
+
+@pytest.mark.parametrize("name", ["qsort", "dijkstra", "fft", "susan"])
+def test_scaled_assembly_still_matches_model(name):
+    program = WORKLOADS[name](scale=2.0)
+    output, _, _ = reference_run(program)
+    assert output == EXPECTED[name](scale=2.0)
+
+
+def test_suite_has_ten_benchmarks(suite):
+    assert len(suite) == 10
+
+
+def test_every_program_has_output(goldens):
+    for name, golden in goldens.items():
+        assert golden.output, f"{name} produces no output (end-of-test blind)"
+
+
+def test_every_program_exercises_branches(suite):
+    for name, program in suite.items():
+        assert program.static_branch_count() >= 1, name
+
+
+def test_flush_rate_diversity(goldens):
+    """Masking statistics need benchmarks on both ends of the
+    misprediction spectrum (sha quiet, dijkstra/patricia stormy)."""
+    rates = {
+        name: golden.stats["flushes"] / golden.cycles
+        for name, golden in goldens.items()
+    }
+    assert min(rates.values()) < 0.01
+    assert max(rates.values()) > 0.03
+
+
+def test_store_intensity_diversity(suite):
+    stores = {n: p.static_store_count() for n, p in suite.items()}
+    assert any(v == 0 for v in stores.values()) or min(stores.values()) <= 1
+    assert max(stores.values()) >= 2
+
+
+def test_golden_cycles_in_campaign_range(goldens):
+    """Every golden run fits the Python-scale campaign envelope."""
+    for name, golden in goldens.items():
+        assert 200 < golden.cycles < 60_000, (name, golden.cycles)
+
+
+def test_qsort_output_is_sorted_extremes():
+    from repro.workloads import qsort
+
+    low, high, _ = qsort.expected()
+    assert low <= high
+
+
+def test_dijkstra_distances_bounded():
+    from repro.workloads import dijkstra
+
+    for dist in dijkstra.expected():
+        assert 0 <= dist <= dijkstra.INF
+
+
+def test_crc32_matches_binascii():
+    """Our bitwise CRC-32 is the standard reflected polynomial."""
+    import binascii
+
+    from repro.workloads import crc32
+    from repro.workloads.common import input_words, scaled
+
+    n = scaled(40, 1.0)
+    data = bytes(w & 0xFF for w in input_words(7, n, bits=8))
+    assert crc32.expected() == [binascii.crc32(data) & 0xFFFFFFFF]
