@@ -5,7 +5,8 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import TYPE_CHECKING, Dict, List
+import os
+from typing import TYPE_CHECKING, Dict, Iterable, List
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis <- bugs)
     from repro.bugs.campaign import CampaignResult, InjectionResult
@@ -92,6 +93,41 @@ def write_csv(campaign: "CampaignResult", path: str) -> None:
     """Write :func:`to_csv` output to ``path``."""
     with open(path, "w", newline="") as handle:
         handle.write(to_csv(campaign))
+
+
+def append_csv(records: Iterable["InjectionResult"], path: str) -> None:
+    """Incrementally append injection rows to a CSV file.
+
+    Writes the header only when the file is new or empty, so a long
+    campaign can flush batches of results as they complete and still end
+    up with one well-formed CSV.
+    """
+    fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+    with open(path, "a", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        if fresh:
+            writer.writeheader()
+        for record in records:
+            writer.writerow(injection_row(record))
+
+
+def campaign_from_checkpoint(path: str) -> "CampaignResult":
+    """Rebuild a :class:`CampaignResult` from an engine checkpoint file.
+
+    Results come back in canonical task order (the order an uninterrupted
+    serial campaign would have produced), and golden-run summaries are
+    restored from the manifest, so every aggregation and export works as
+    if the campaign had just run.
+    """
+    from repro.bugs.campaign import CampaignResult
+    from repro.exec.checkpoint import load_checkpoint
+
+    manifest, done = load_checkpoint(path)
+    campaign = CampaignResult()
+    for index, result in sorted(done.values(), key=lambda pair: pair[0]):
+        campaign.results.append(result)
+    campaign.goldens = dict(manifest.goldens)
+    return campaign
 
 
 def write_json(campaign: "CampaignResult", path: str) -> None:

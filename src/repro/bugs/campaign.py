@@ -16,13 +16,12 @@ and the CLI harness can scale up (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.outcomes import OutcomeClass
-from repro.bugs.classify import Classification, classify_run, timeout_budget
-from repro.bugs.injector import arm, draw_spec
+from repro.bugs.classify import classify_run, timeout_budget
+from repro.bugs.injector import arm
 from repro.bugs.models import BugModel, BugSpec, PRIMARY_MODELS
 from repro.core.config import CoreConfig
 from repro.core.cpu import OoOCore, RunResult
@@ -168,6 +167,12 @@ class CampaignResult:
                 seen.append(r.benchmark)
         return seen
 
+    @property
+    def never_activated(self) -> int:
+        """Injections whose armed signal was never exercised, even after
+        all redraw attempts (reported, not silently dropped)."""
+        return sum(1 for r in self.results if not r.activated)
+
     # -- Figure 3: masked fraction per benchmark x model -----------------------------
 
     def masked_fraction(
@@ -266,7 +271,11 @@ def run_campaign(
     config: Optional[CoreConfig] = None,
     max_attempts: int = 6,
 ) -> CampaignResult:
-    """Run a full injection campaign.
+    """Run a full injection campaign (serially; see :mod:`repro.exec`).
+
+    This is a thin façade over the task engine: each injection draws from
+    a task-local seed derived from ``seed`` by stable hash, so the result
+    is bit-identical to the same campaign run on any parallel backend.
 
     Args:
         programs: benchmark name -> program.
@@ -275,23 +284,18 @@ def run_campaign(
         seed: Master seed; every draw derives from it deterministically.
         config: Core configuration (paper defaults when None).
         max_attempts: Redraws allowed until an injection actually fires
-            (an armed signal nobody exercises has no effect).
+            (an armed signal nobody exercises has no effect); must be >= 1.
 
     Returns:
         The populated :class:`CampaignResult`.
     """
-    rng = random.Random(seed)
-    campaign = CampaignResult()
-    for name, program in programs.items():
-        golden = run_golden(program, config)
-        campaign.goldens[name] = golden
-        for model in models:
-            for _ in range(runs_per_model):
-                result = None
-                for _attempt in range(max_attempts):
-                    spec = draw_spec(model, rng, golden.cycles, config or CoreConfig())
-                    result = run_injection(program, golden, spec, config)
-                    if result.activated:
-                        break
-                campaign.results.append(result)
-    return campaign
+    from repro.exec.engine import run_engine  # local: exec imports this module
+
+    return run_engine(
+        programs,
+        runs_per_model,
+        models=models,
+        seed=seed,
+        config=config,
+        max_attempts=max_attempts,
+    )

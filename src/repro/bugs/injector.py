@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Optional, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
 
 from repro.bugs.models import BugModel, BugSpec
 from repro.core.config import CoreConfig
@@ -30,6 +30,27 @@ def draw_spec(
         return BugSpec(model, inject_cycle, xor_mask=mask)
     array, kind = rng.choice(model.signals)
     return BugSpec(model, inject_cycle, array=array, kind=kind)
+
+
+def draw_attempts(
+    model: BugModel,
+    derived_seed: int,
+    golden_cycles: int,
+    config: CoreConfig,
+    max_attempts: int,
+) -> Iterator[BugSpec]:
+    """Yield up to ``max_attempts`` specs from a task-local random stream.
+
+    Each injection task draws from its own ``random.Random(derived_seed)``
+    rather than a campaign-wide shared RNG, so a task's draws (including
+    redraws after a never-activated attempt) depend only on its seed —
+    never on how many draws other tasks made before it.
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    rng = random.Random(derived_seed)
+    for _ in range(max_attempts):
+        yield draw_spec(model, rng, golden_cycles, config)
 
 
 def arm(

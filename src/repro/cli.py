@@ -5,8 +5,12 @@ figure/table reports. Examples::
 
     idld-campaign --runs 20                     # quick pass, all figures
     idld-campaign --runs 100 --scale 2.5        # closer to paper scale
+    idld-campaign --runs 100 --jobs 4           # parallel, same results
     idld-campaign --figures 3,9 --benchmarks sha,qsort
     idld-campaign --figures table2              # RTL cost model only
+    idld-campaign --runs 3000 --jobs 8 --checkpoint run.jsonl
+    idld-campaign --runs 3000 --jobs 8 --resume run.jsonl   # pick up a kill
+    idld-campaign --from-checkpoint run.jsonl --figures 3   # report only
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import (
     coverage_report,
@@ -24,9 +28,12 @@ from repro.analysis.report import (
     figure8_report,
     latency_report,
 )
-from repro.bugs.campaign import run_campaign
 from repro.rtl.report import table_ii_report
 from repro.workloads import WORKLOADS
+
+#: Figure ids the reporter understands (``latency`` is the Figures 6/7
+#: detection-latency summary; ``table2`` is the RTL cost model).
+KNOWN_FIGURES = ("3", "4", "5", "8", "9", "10", "latency", "table2")
 
 
 def _parse_args(argv: List[str]) -> argparse.Namespace:
@@ -50,6 +57,13 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         "--seed", type=int, default=1, help="campaign master seed [1]"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; results are identical for any N [1]",
+    )
+    parser.add_argument(
         "--benchmarks",
         default="all",
         help="comma-separated benchmark names, or 'all'",
@@ -57,7 +71,39 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
     parser.add_argument(
         "--figures",
         default="3,4,5,8,9,10,table2",
-        help="comma-separated figure ids to report (3,4,5,8,9,10,table2)",
+        help=(
+            "comma-separated figure ids to report; known ids: "
+            + ",".join(KNOWN_FIGURES)
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="append each completed injection to this JSONL checkpoint",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume an interrupted campaign from this checkpoint, skipping "
+            "completed injections and appending new ones to the same file"
+        ),
+    )
+    parser.add_argument(
+        "--from-checkpoint",
+        default=None,
+        metavar="PATH",
+        dest="from_checkpoint",
+        help="skip execution: report/export straight from a checkpoint file",
+    )
+    parser.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="print live progress (tasks done, inj/s, ETA) to stderr "
+        "[auto: on when stderr is a TTY]",
     )
     parser.add_argument(
         "--export-csv",
@@ -74,36 +120,7 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
-def main(argv: List[str] = None) -> int:
-    args = _parse_args(sys.argv[1:] if argv is None else argv)
-    figures = {f.strip().lower() for f in args.figures.split(",")}
-
-    if "table2" in figures:
-        print(table_ii_report())
-        print()
-    campaign_figures = figures - {"table2"}
-    if not campaign_figures:
-        return 0
-
-    if args.benchmarks == "all":
-        names = list(WORKLOADS)
-    else:
-        names = [n.strip() for n in args.benchmarks.split(",")]
-        unknown = [n for n in names if n not in WORKLOADS]
-        if unknown:
-            print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
-            return 2
-    programs: Dict[str, object] = {
-        name: WORKLOADS[name](scale=args.scale) for name in names
-    }
-
-    started = time.time()
-    campaign = run_campaign(programs, runs_per_model=args.runs, seed=args.seed)
-    elapsed = time.time() - started
-    print(
-        f"campaign: {len(campaign.results)} injections over "
-        f"{len(programs)} benchmarks in {elapsed:.1f}s\n"
-    )
+def _report(campaign, campaign_figures, args) -> None:
     reports = {
         "3": figure3_report,
         "4": figure4_report,
@@ -128,6 +145,102 @@ def main(argv: List[str] = None) -> int:
 
         write_json(campaign, args.export_json)
         print(f"wrote {args.export_json}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    figures = {f.strip().lower() for f in args.figures.split(",") if f.strip()}
+    unknown_figures = figures - set(KNOWN_FIGURES)
+    if unknown_figures:
+        print(
+            f"unknown figures: {', '.join(sorted(unknown_figures))} "
+            f"(known: {', '.join(KNOWN_FIGURES)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.checkpoint and args.resume:
+        print(
+            "--checkpoint and --resume are mutually exclusive "
+            "(--resume keeps appending to the file it loads)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if "table2" in figures:
+        print(table_ii_report())
+        print()
+    campaign_figures = figures - {"table2"}
+    exporting = bool(args.export_csv or args.export_json)
+
+    if args.from_checkpoint:
+        from repro.analysis.export import campaign_from_checkpoint
+        from repro.exec.checkpoint import CheckpointError
+
+        try:
+            campaign = campaign_from_checkpoint(args.from_checkpoint)
+        except (CheckpointError, OSError) as exc:
+            print(f"cannot load checkpoint: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"checkpoint: {len(campaign.results)} injections over "
+            f"{len(campaign.benchmarks)} benchmarks "
+            f"({campaign.never_activated} never activated)\n"
+        )
+        _report(campaign, campaign_figures, args)
+        return 0
+
+    if not campaign_figures and not exporting:
+        return 0
+
+    if args.benchmarks == "all":
+        names = list(WORKLOADS)
+    else:
+        names = [n.strip() for n in args.benchmarks.split(",")]
+        unknown = [n for n in names if n not in WORKLOADS]
+        if unknown:
+            print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    programs: Dict[str, object] = {
+        name: WORKLOADS[name](scale=args.scale) for name in names
+    }
+
+    from repro.exec.backends import ProcessPoolBackend, SerialBackend
+    from repro.exec.checkpoint import CheckpointError
+    from repro.exec.engine import run_engine
+    from repro.exec.progress import ProgressPrinter
+
+    backend = (
+        ProcessPoolBackend(args.jobs) if args.jobs > 1 else SerialBackend()
+    )
+    show_progress = (
+        args.progress if args.progress is not None else sys.stderr.isatty()
+    )
+    observers = [ProgressPrinter()] if show_progress else []
+
+    started = time.time()
+    try:
+        campaign = run_engine(
+            programs,
+            runs_per_model=args.runs,
+            seed=args.seed,
+            backend=backend,
+            checkpoint_path=args.resume or args.checkpoint,
+            resume=args.resume is not None,
+            observers=observers,
+        )
+    except (CheckpointError, OSError) as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    print(
+        f"campaign: {len(campaign.results)} injections over "
+        f"{len(programs)} benchmarks in {elapsed:.1f}s "
+        f"(jobs={args.jobs}, {campaign.never_activated} never activated)\n"
+    )
+    _report(campaign, campaign_figures, args)
     return 0
 
 

@@ -1,0 +1,41 @@
+"""Campaign execution engine: tasks, backends, checkpointing, progress.
+
+The injection campaign is decomposed into independent
+:class:`~repro.exec.tasks.InjectionTask` units, each carrying its own
+deterministically-derived seed, so execution order and worker count never
+change results. Pluggable backends (:class:`~repro.exec.backends.SerialBackend`,
+:class:`~repro.exec.backends.ProcessPoolBackend`) run the tasks; the engine
+aggregates results in canonical task order, checkpoints them incrementally
+to an append-only JSONL file, and emits progress events.
+"""
+
+from repro.exec.backends import Backend, ProcessPoolBackend, SerialBackend
+from repro.exec.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    load_checkpoint,
+)
+from repro.exec.engine import run_engine
+from repro.exec.progress import ProgressEvent, ProgressPrinter
+from repro.exec.tasks import (
+    InjectionTask,
+    derive_seed,
+    execute_task,
+    generate_tasks,
+)
+
+__all__ = [
+    "Backend",
+    "CheckpointError",
+    "CheckpointWriter",
+    "InjectionTask",
+    "ProcessPoolBackend",
+    "ProgressEvent",
+    "ProgressPrinter",
+    "SerialBackend",
+    "derive_seed",
+    "execute_task",
+    "generate_tasks",
+    "load_checkpoint",
+    "run_engine",
+]

@@ -1,0 +1,139 @@
+"""Pluggable campaign execution backends.
+
+A backend consumes :class:`~repro.exec.tasks.InjectionTask` units and yields
+``(task, result)`` pairs as they complete — in task order for the serial
+backend, in completion order for the process pool. Because every task
+carries its own derived seed, the pair stream is order-independent: the
+engine re-sorts by task index, so all backends produce identical campaigns.
+
+``ProcessPoolBackend`` ships the program table and core config to each
+worker once (at pool start), and each worker lazily computes and caches the
+golden run per benchmark, so a campaign of N injections over B benchmarks
+costs at most B golden runs per worker regardless of N.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.bugs.campaign import InjectionResult, run_golden
+from repro.core.config import CoreConfig
+from repro.core.cpu import RunResult
+from repro.exec.tasks import InjectionTask, execute_task
+from repro.isa.program import Program
+
+try:  # pragma: no cover - 3.8+ always has Protocol
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a backend needs to run tasks: programs, config, goldens."""
+
+    programs: Dict[str, Program]
+    config: Optional[CoreConfig] = None
+    _goldens: Dict[str, RunResult] = field(default_factory=dict)
+
+    def golden(self, benchmark: str) -> RunResult:
+        """The (cached) bug-free reference run for ``benchmark``."""
+        if benchmark not in self._goldens:
+            self._goldens[benchmark] = run_golden(
+                self.programs[benchmark], self.config
+            )
+        return self._goldens[benchmark]
+
+
+class Backend(Protocol):
+    """Executes tasks and yields their results in any order."""
+
+    def run(
+        self, tasks: Sequence[InjectionTask], context: ExecutionContext
+    ) -> Iterator[Tuple[InjectionTask, InjectionResult]]:
+        ...  # pragma: no cover
+
+
+class SerialBackend:
+    """In-process execution, one task at a time, in task order."""
+
+    def run(
+        self, tasks: Sequence[InjectionTask], context: ExecutionContext
+    ) -> Iterator[Tuple[InjectionTask, InjectionResult]]:
+        for task in tasks:
+            golden = context.golden(task.benchmark)
+            yield task, execute_task(
+                task, context.programs[task.benchmark], golden, context.config
+            )
+
+
+# -- process-pool worker state ------------------------------------------------
+#
+# Populated once per worker by the pool initializer; the golden cache fills
+# lazily as the worker sees each benchmark for the first time.
+
+_WORKER_PROGRAMS: Dict[str, Program] = {}
+_WORKER_CONFIG: Optional[CoreConfig] = None
+_WORKER_GOLDENS: Dict[str, RunResult] = {}
+
+
+def _worker_init(
+    programs: Dict[str, Program], config: Optional[CoreConfig]
+) -> None:
+    global _WORKER_CONFIG
+    _WORKER_PROGRAMS.clear()
+    _WORKER_PROGRAMS.update(programs)
+    _WORKER_CONFIG = config
+    _WORKER_GOLDENS.clear()
+
+
+def _worker_execute(task: InjectionTask) -> InjectionResult:
+    if task.benchmark not in _WORKER_GOLDENS:
+        _WORKER_GOLDENS[task.benchmark] = run_golden(
+            _WORKER_PROGRAMS[task.benchmark], _WORKER_CONFIG
+        )
+    return execute_task(
+        task,
+        _WORKER_PROGRAMS[task.benchmark],
+        _WORKER_GOLDENS[task.benchmark],
+        _WORKER_CONFIG,
+    )
+
+
+class ProcessPoolBackend:
+    """Parallel execution on a pool of worker processes.
+
+    Tasks and results are plain picklable dataclasses; results are yielded
+    in completion order. ``max_inflight`` bounds how many tasks are queued
+    on the pool at once so paper-scale campaigns (tens of thousands of
+    tasks) do not hold every pending future in memory.
+    """
+
+    def __init__(self, jobs: int, max_inflight: Optional[int] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.max_inflight = max_inflight if max_inflight is not None else jobs * 8
+
+    def run(
+        self, tasks: Sequence[InjectionTask], context: ExecutionContext
+    ) -> Iterator[Tuple[InjectionTask, InjectionResult]]:
+        pending = list(tasks)
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_worker_init,
+            initargs=(context.programs, context.config),
+        ) as pool:
+            inflight = {}
+            cursor = 0
+            while cursor < len(pending) or inflight:
+                while cursor < len(pending) and len(inflight) < self.max_inflight:
+                    task = pending[cursor]
+                    inflight[pool.submit(_worker_execute, task)] = task
+                    cursor += 1
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = inflight.pop(future)
+                    yield task, future.result()

@@ -1,0 +1,271 @@
+"""Append-only JSONL checkpointing for campaigns (``--checkpoint/--resume``).
+
+File layout: line 1 is a ``manifest`` record pinning the campaign identity
+(seed, models, benchmarks, runs, golden-run summaries); every later line is
+one completed task ``result`` record, appended in completion order. Records
+carry the canonical task index, so a campaign rebuilt from a checkpoint is
+re-sorted into task order and is identical to an uninterrupted run.
+
+A process killed mid-append may leave a truncated final line; the loader
+tolerates (and drops) exactly that — a malformed line anywhere else is a
+corruption error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, IO, List, Optional, Tuple
+
+from repro.analysis.outcomes import OutcomeClass
+from repro.bugs.campaign import InjectionResult
+from repro.bugs.models import BugModel, BugSpec
+from repro.core.cpu import RunResult
+from repro.core.rrs.signals import ArrayName, SignalKind
+from repro.exec.tasks import InjectionTask
+
+#: Checkpoint format version; readers reject anything else.
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised on corrupt or mismatched checkpoint files."""
+
+
+@dataclass(frozen=True)
+class GoldenSummary:
+    """The golden-run facts a checkpoint preserves (duck-types RunResult
+    for :func:`repro.analysis.export.to_json`)."""
+
+    cycles: int
+    committed: int
+
+
+@dataclass
+class Manifest:
+    """Identity of the campaign a checkpoint belongs to."""
+
+    seed: int
+    runs_per_model: int
+    models: List[str]
+    benchmarks: List[str]
+    max_attempts: int
+    goldens: Dict[str, GoldenSummary]
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "type": "manifest",
+            "version": FORMAT_VERSION,
+            "seed": self.seed,
+            "runs_per_model": self.runs_per_model,
+            "models": self.models,
+            "benchmarks": self.benchmarks,
+            "max_attempts": self.max_attempts,
+            "goldens": {
+                name: {"cycles": g.cycles, "committed": g.committed}
+                for name, g in self.goldens.items()
+            },
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "Manifest":
+        if record.get("type") != "manifest":
+            raise CheckpointError("checkpoint does not start with a manifest")
+        if record.get("version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {record.get('version')!r}"
+            )
+        return cls(
+            seed=record["seed"],
+            runs_per_model=record["runs_per_model"],
+            models=list(record["models"]),
+            benchmarks=list(record["benchmarks"]),
+            max_attempts=record["max_attempts"],
+            goldens={
+                name: GoldenSummary(entry["cycles"], entry["committed"])
+                for name, entry in record["goldens"].items()
+            },
+        )
+
+
+def spec_to_dict(spec: BugSpec) -> Dict[str, object]:
+    return {
+        "model": spec.model.value,
+        "inject_cycle": spec.inject_cycle,
+        "array": spec.array.value if spec.array is not None else None,
+        "kind": spec.kind.value if spec.kind is not None else None,
+        "xor_mask": spec.xor_mask,
+    }
+
+
+def spec_from_dict(data: Dict[str, object]) -> BugSpec:
+    return BugSpec(
+        model=BugModel(data["model"]),
+        inject_cycle=data["inject_cycle"],
+        array=ArrayName(data["array"]) if data["array"] is not None else None,
+        kind=SignalKind(data["kind"]) if data["kind"] is not None else None,
+        xor_mask=data["xor_mask"],
+    )
+
+
+def result_to_dict(result: InjectionResult) -> Dict[str, object]:
+    return {
+        "benchmark": result.benchmark,
+        "spec": spec_to_dict(result.spec),
+        "activated": result.activated,
+        "activation_cycle": result.activation_cycle,
+        "outcome": result.outcome.value,
+        "manifestation_cycle": result.manifestation_cycle,
+        "final_cycle": result.final_cycle,
+        "persists": result.persists,
+        "idld_cycle": result.idld_cycle,
+        "bv_cycle": result.bv_cycle,
+        "counter_cycle": result.counter_cycle,
+        "eot_detected": result.eot_detected,
+    }
+
+
+def result_from_dict(data: Dict[str, object]) -> InjectionResult:
+    return InjectionResult(
+        benchmark=data["benchmark"],
+        spec=spec_from_dict(data["spec"]),
+        activated=data["activated"],
+        activation_cycle=data["activation_cycle"],
+        outcome=OutcomeClass(data["outcome"]),
+        manifestation_cycle=data["manifestation_cycle"],
+        final_cycle=data["final_cycle"],
+        persists=data["persists"],
+        idld_cycle=data["idld_cycle"],
+        bv_cycle=data["bv_cycle"],
+        counter_cycle=data["counter_cycle"],
+        eot_detected=data["eot_detected"],
+    )
+
+
+def _truncate_torn_tail(path: str) -> None:
+    """Drop a partial final line (no trailing newline) left by a kill,
+    so appended records start on a fresh line."""
+    with open(path, "rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size == 0:
+            return
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return
+        handle.seek(0)
+        data = handle.read()
+        keep = data.rfind(b"\n") + 1
+        handle.truncate(keep)
+
+
+class CheckpointWriter:
+    """Appends completed task results to a JSONL checkpoint file.
+
+    In fresh mode the manifest is written (and flushed) first; in resume
+    mode the file is opened for append and the manifest must already be
+    present. Every record is flushed + fsynced so a kill loses at most the
+    line being written.
+    """
+
+    def __init__(
+        self, path: str, manifest: Manifest, resume: bool = False
+    ) -> None:
+        self.path = path
+        self.manifest = manifest
+        self._handle: Optional[IO[str]] = None
+        if resume:
+            _truncate_torn_tail(path)
+            self._handle = open(path, "a")
+        else:
+            self._handle = open(path, "w")
+            self._append(manifest.to_record())
+
+    def write_result(self, task: InjectionTask, result: InjectionResult) -> None:
+        self._append(
+            {
+                "type": "result",
+                "index": task.index,
+                "key": task.key,
+                "run_index": task.run_index,
+                "derived_seed": task.derived_seed,
+                "result": result_to_dict(result),
+            }
+        )
+
+    def _append(self, record: Dict[str, object]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_checkpoint(
+    path: str,
+) -> Tuple[Manifest, Dict[str, Tuple[int, InjectionResult]]]:
+    """Load a checkpoint: the manifest plus ``task key -> (index, result)``.
+
+    Tolerates a truncated final line (the signature of a killed run);
+    raises :class:`CheckpointError` for any other malformation. When the
+    same key appears twice the later record wins — harmless, since records
+    for a key are byte-identical by construction.
+    """
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise CheckpointError(f"{path}: empty checkpoint file")
+    records: List[Dict[str, object]] = []
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break  # truncated final line from an interrupted run
+            raise CheckpointError(f"{path}:{lineno + 1}: corrupt record")
+    if not records:
+        raise CheckpointError(f"{path}: no complete records")
+    manifest = Manifest.from_record(records[0])
+    done: Dict[str, Tuple[int, InjectionResult]] = {}
+    for record in records[1:]:
+        if record.get("type") != "result":
+            raise CheckpointError(f"unexpected record type {record.get('type')!r}")
+        done[record["key"]] = (
+            record["index"],
+            result_from_dict(record["result"]),
+        )
+    return manifest, done
+
+
+def manifest_for(
+    seed: int,
+    runs_per_model: int,
+    models: List[BugModel],
+    benchmarks: List[str],
+    max_attempts: int,
+    goldens: Dict[str, RunResult],
+) -> Manifest:
+    return Manifest(
+        seed=seed,
+        runs_per_model=runs_per_model,
+        models=[m.value for m in models],
+        benchmarks=list(benchmarks),
+        max_attempts=max_attempts,
+        goldens={
+            name: GoldenSummary(g.cycles, g.committed)
+            for name, g in goldens.items()
+        },
+    )

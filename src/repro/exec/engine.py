@@ -1,0 +1,166 @@
+"""The campaign engine: task generation -> backend -> ordered aggregation.
+
+This is the one execution path behind both :func:`repro.bugs.campaign.run_campaign`
+and the ``idld-campaign`` CLI. It generates the canonical task list, skips
+tasks already present in a resume checkpoint, streams the rest through the
+chosen backend, checkpoints each completion, emits progress events, and
+finally assembles a :class:`~repro.bugs.campaign.CampaignResult` in task
+order — making the campaign independent of backend, worker count, and
+interruptions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.bugs.campaign import CampaignResult, InjectionResult
+from repro.bugs.models import BugModel, PRIMARY_MODELS
+from repro.core.config import CoreConfig
+from repro.exec.backends import Backend, ExecutionContext, SerialBackend
+from repro.exec.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    load_checkpoint,
+    manifest_for,
+)
+from repro.exec.progress import ProgressEvent, ProgressObserver
+from repro.exec.tasks import generate_tasks
+from repro.isa.program import Program
+
+
+def _verify_manifest(manifest, seed, runs_per_model, models, benchmarks, path):
+    expected = {
+        "seed": seed,
+        "runs_per_model": runs_per_model,
+        "models": [m.value for m in models],
+        "benchmarks": list(benchmarks),
+    }
+    actual = {
+        "seed": manifest.seed,
+        "runs_per_model": manifest.runs_per_model,
+        "models": manifest.models,
+        "benchmarks": manifest.benchmarks,
+    }
+    for key in expected:
+        if expected[key] != actual[key]:
+            raise CheckpointError(
+                f"{path}: checkpoint {key}={actual[key]!r} does not match "
+                f"this campaign's {key}={expected[key]!r}; refusing to resume"
+            )
+
+
+def run_engine(
+    programs: Dict[str, Program],
+    runs_per_model: int,
+    models: Iterable[BugModel] = PRIMARY_MODELS,
+    seed: int = 1,
+    config: Optional[CoreConfig] = None,
+    max_attempts: int = 6,
+    backend: Optional[Backend] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    observers: Sequence[ProgressObserver] = (),
+) -> CampaignResult:
+    """Run a full injection campaign through the task engine.
+
+    Args:
+        programs: benchmark name -> program.
+        runs_per_model: Injections per (benchmark, model) pair.
+        models: Bug models to exercise (the paper's three by default).
+        seed: Master seed; each task's seed derives from it by stable hash,
+            so results are identical for any backend or worker count.
+        config: Core configuration (paper defaults when None).
+        max_attempts: Redraws allowed until an injection activates; must be
+            >= 1.
+        backend: Execution backend (:class:`SerialBackend` when None).
+        checkpoint_path: Append each completed result to this JSONL file.
+        resume: Load ``checkpoint_path`` first and skip its completed
+            tasks; the file keeps growing in place.
+        observers: Progress-event callables (see :mod:`repro.exec.progress`).
+
+    Returns:
+        The populated :class:`CampaignResult`, with results in canonical
+        task order regardless of completion order.
+    """
+    models = list(models)
+    if resume and checkpoint_path is None:
+        raise ValueError("resume=True requires checkpoint_path")
+    tasks = generate_tasks(
+        list(programs), runs_per_model, models, seed, max_attempts
+    )
+    backend = backend if backend is not None else SerialBackend()
+    context = ExecutionContext(programs=programs, config=config)
+    goldens = {name: context.golden(name) for name in programs}
+
+    completed: Dict[int, InjectionResult] = {}
+    skipped = 0
+    if resume:
+        manifest, done = load_checkpoint(checkpoint_path)
+        _verify_manifest(
+            manifest, seed, runs_per_model, models, list(programs),
+            checkpoint_path,
+        )
+        by_key = {task.key: task for task in tasks}
+        for key, (index, result) in done.items():
+            if key in by_key:
+                completed[by_key[key].index] = result
+        skipped = len(completed)
+
+    writer: Optional[CheckpointWriter] = None
+    if checkpoint_path is not None:
+        manifest = manifest_for(
+            seed, runs_per_model, models, list(programs), max_attempts, goldens
+        )
+        writer = CheckpointWriter(checkpoint_path, manifest, resume=resume)
+
+    total = len(tasks)
+    bench_totals = {name: 0 for name in programs}
+    for task in tasks:
+        bench_totals[task.benchmark] += 1
+    bench_done = {name: 0 for name in programs}
+    for index in completed:
+        bench_done[tasks[index].benchmark] += 1
+
+    started = time.monotonic()
+    executed = 0
+
+    def emit(benchmark: Optional[str]) -> None:
+        elapsed = time.monotonic() - started
+        throughput = executed / elapsed if elapsed > 0 and executed else 0.0
+        remaining = total - (skipped + executed)
+        eta = remaining / throughput if throughput > 0 else None
+        event = ProgressEvent(
+            done=skipped + executed,
+            total=total,
+            skipped=skipped,
+            elapsed_s=elapsed,
+            throughput=throughput,
+            eta_s=eta,
+            benchmark=benchmark,
+            per_benchmark={
+                name: (bench_done[name], bench_totals[name])
+                for name in bench_totals
+            },
+        )
+        for observer in observers:
+            observer(event)
+
+    try:
+        if skipped and observers:
+            emit(None)
+        pending = [task for task in tasks if task.index not in completed]
+        for task, result in backend.run(pending, context):
+            completed[task.index] = result
+            if writer is not None:
+                writer.write_result(task, result)
+            executed += 1
+            bench_done[task.benchmark] += 1
+            emit(task.benchmark)
+    finally:
+        if writer is not None:
+            writer.close()
+
+    campaign = CampaignResult(goldens=dict(goldens))
+    campaign.results = [completed[task.index] for task in tasks]
+    return campaign

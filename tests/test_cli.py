@@ -33,3 +33,60 @@ def test_figure_subset(capsys):
     main(["--runs", "2", "--benchmarks", "sha", "--figures", "4"])
     out = capsys.readouterr().out
     assert "Figure 4" in out and "Figure 3" not in out
+
+
+def test_unknown_figure_rejected(capsys):
+    assert main(["--figures", "3,nosuch"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown figures: nosuch" in err
+    assert "latency" in err  # the known-id list names every supported id
+
+
+def test_latency_documented_in_help(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    assert "latency" in capsys.readouterr().out
+
+
+def test_checkpoint_and_resume_mutually_exclusive(capsys):
+    assert main(["--checkpoint", "a.jsonl", "--resume", "b.jsonl"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_resume_missing_file_clean_error(capsys):
+    code = main([
+        "--resume", "/nonexistent/run.jsonl",
+        "--runs", "1", "--benchmarks", "sha", "--figures", "3",
+    ])
+    assert code == 2
+    assert "checkpoint error" in capsys.readouterr().err
+
+
+def test_from_checkpoint_missing_file_clean_error(capsys):
+    assert main(["--from-checkpoint", "/nonexistent/run.jsonl"]) == 2
+    assert "cannot load checkpoint" in capsys.readouterr().err
+
+
+def test_invalid_jobs_rejected(capsys):
+    assert main(["--jobs", "0", "--figures", "3"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_parallel_campaign_with_checkpoint(tmp_path, capsys):
+    path = str(tmp_path / "run.jsonl")
+    code = main([
+        "--runs", "2",
+        "--benchmarks", "sha",
+        "--figures", "3",
+        "--jobs", "2",
+        "--checkpoint", path,
+        "--no-progress",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "jobs=2" in out and "never activated" in out
+
+    # Report straight from the checkpoint, no re-execution.
+    assert main(["--from-checkpoint", path, "--figures", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out and "checkpoint: 6 injections" in out
