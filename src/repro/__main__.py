@@ -1,0 +1,8 @@
+"""``python -m repro`` — the umbrella CLI without installation."""
+
+import sys
+
+from repro.cli import repro_main
+
+if __name__ == "__main__":
+    sys.exit(repro_main())

@@ -244,5 +244,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def repro_main(argv: Optional[List[str]] = None) -> int:
+    """The ``repro`` umbrella command: ``repro <subcommand> ...``.
+
+    Subcommands: ``campaign`` (the injection campaign, same as the
+    ``idld-campaign`` script) and ``fuzz`` (coverage-guided differential
+    fuzzing). Also reachable without installation as ``python -m repro``.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    usage = "usage: repro {campaign,fuzz} [options]  (-h for help)"
+    if not argv or argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "campaign":
+        return main(rest)
+    if command == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(rest)
+    print(f"unknown subcommand {command!r}\n{usage}", file=sys.stderr)
+    return 2
+
+
 if __name__ == "__main__":
     sys.exit(main())

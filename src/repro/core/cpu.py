@@ -180,6 +180,7 @@ class OoOCore:
             "checkpoints": 0,
             "checkpoints_skipped": 0,
             "recovery_cycles": 0,
+            "load_replays": 0,
         }
         for obs in self.observers:
             obs.power_on(
@@ -330,6 +331,7 @@ class OoOCore:
         f_seq = offender.seq
         rht_tail_at_flush = self.rht.tail_pos
         # Squash younger in-flight work everywhere.
+        squashed = len(self.fetch_queue)
         self.fetch_queue = []
         for uop in self.issue_queue:
             if uop.seq > f_seq:
@@ -339,9 +341,14 @@ class OoOCore:
             if uop.seq > f_seq:
                 uop.state = UopState.SQUASHED
         self.executing = [(c, u) for c, u in self.executing if u.seq <= f_seq]
+        # Every renamed in-flight uop owns a ROB slot, so the ROB walk (plus
+        # the not-yet-renamed fetch queue) counts each squash exactly once.
         for slot in self.rob.live_slots():
             if slot.seq > f_seq and slot.uop is not None:
                 slot.uop.state = UopState.SQUASHED
+                squashed += 1
+        for obs in self.observers:
+            obs.flush_initiated(self.cycle, f_seq, squashed)
         self.store_queue.squash_after(f_seq)
         self.rob.squash_after(f_seq)
         # Select and restore the closest previous checkpoint.
@@ -427,6 +434,9 @@ class OoOCore:
                 uop.seq, address
             )
             if must_stall:
+                self.stats["load_replays"] += 1
+                for obs in self.observers:
+                    obs.load_replay(self.cycle, uop.seq)
                 return False
             uop.mem_address = address
             if address >= self.config.memory_limit:

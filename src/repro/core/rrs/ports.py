@@ -33,6 +33,12 @@ class RRSObserver:
     * ``checkpoint_freed`` -- the slot was released (retired or squashed).
     * ``pipeline_empty`` -- no instruction in flight this cycle (used by the
       bit-vector scheme's leakage probe).
+    * ``flush_initiated`` -- a mispredicted branch won flush arbitration;
+      carries how many younger in-flight uops were squashed (used by the
+      fuzzing coverage probe, :mod:`repro.fuzz.coverage`).
+    * ``load_replay`` -- a load could not issue because an older store's
+      address was still unknown and will retry next cycle (the LSQ replay
+      pressure signal).
     * ``cycle_end`` -- end-of-cycle synchronization point where invariance
       is evaluated.
     """
@@ -92,6 +98,15 @@ class RRSObserver:
 
     def pipeline_empty(self, cycle: int) -> None:
         """The pipeline holds no in-flight instruction this cycle."""
+
+    def flush_initiated(self, cycle: int, offender_seq: int, squashed: int) -> None:
+        """A flush began at ``cycle``: ``squashed`` uops younger than
+        ``offender_seq`` were discarded across the front end, scheduler,
+        execution units and ROB."""
+
+    def load_replay(self, cycle: int, seq: int) -> None:
+        """The load with rename sequence ``seq`` was held back by an
+        unresolved older store and will replay."""
 
     def cycle_end(self, cycle: int) -> None:
         """All port traffic for ``cycle`` has been delivered."""

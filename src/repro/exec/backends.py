@@ -16,13 +16,18 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.bugs.campaign import InjectionResult, run_golden
 from repro.core.config import CoreConfig
 from repro.core.cpu import RunResult
 from repro.exec.tasks import InjectionTask, execute_task
 from repro.isa.program import Program
+
+#: A pluggable task runner: ``runner(task, context) -> result``. Must be a
+#: module-level function so the process pool can ship it to workers by
+#: reference. ``None`` selects the built-in injection-task path.
+TaskRunner = Callable[[object, "ExecutionContext"], object]
 
 try:  # pragma: no cover - 3.8+ always has Protocol
     from typing import Protocol
@@ -32,10 +37,17 @@ except ImportError:  # pragma: no cover
 
 @dataclass
 class ExecutionContext:
-    """Everything a backend needs to run tasks: programs, config, goldens."""
+    """Everything a backend needs to run tasks: programs, config, goldens.
+
+    ``runner`` makes the backends task-agnostic: when set (e.g. to
+    :func:`repro.fuzz.engine.run_fuzz_task`), every task is dispatched to
+    it; when None, tasks follow the classic injection path with per-worker
+    golden caching.
+    """
 
     programs: Dict[str, Program]
     config: Optional[CoreConfig] = None
+    runner: Optional[TaskRunner] = None
     _goldens: Dict[str, RunResult] = field(default_factory=dict)
 
     def golden(self, benchmark: str) -> RunResult:
@@ -45,6 +57,15 @@ class ExecutionContext:
                 self.programs[benchmark], self.config
             )
         return self._goldens[benchmark]
+
+    def execute(self, task: object) -> object:
+        """Run one task through ``runner`` or the injection default."""
+        if self.runner is not None:
+            return self.runner(task, self)
+        golden = self.golden(task.benchmark)
+        return execute_task(
+            task, self.programs[task.benchmark], golden, self.config
+        )
 
 
 class Backend(Protocol):
@@ -63,10 +84,7 @@ class SerialBackend:
         self, tasks: Sequence[InjectionTask], context: ExecutionContext
     ) -> Iterator[Tuple[InjectionTask, InjectionResult]]:
         for task in tasks:
-            golden = context.golden(task.benchmark)
-            yield task, execute_task(
-                task, context.programs[task.benchmark], golden, context.config
-            )
+            yield task, context.execute(task)
 
 
 # -- process-pool worker state ------------------------------------------------
@@ -74,32 +92,23 @@ class SerialBackend:
 # Populated once per worker by the pool initializer; the golden cache fills
 # lazily as the worker sees each benchmark for the first time.
 
-_WORKER_PROGRAMS: Dict[str, Program] = {}
-_WORKER_CONFIG: Optional[CoreConfig] = None
-_WORKER_GOLDENS: Dict[str, RunResult] = {}
+_WORKER_CONTEXT: Optional[ExecutionContext] = None
 
 
 def _worker_init(
-    programs: Dict[str, Program], config: Optional[CoreConfig]
+    programs: Dict[str, Program],
+    config: Optional[CoreConfig],
+    runner: Optional[TaskRunner] = None,
 ) -> None:
-    global _WORKER_CONFIG
-    _WORKER_PROGRAMS.clear()
-    _WORKER_PROGRAMS.update(programs)
-    _WORKER_CONFIG = config
-    _WORKER_GOLDENS.clear()
-
-
-def _worker_execute(task: InjectionTask) -> InjectionResult:
-    if task.benchmark not in _WORKER_GOLDENS:
-        _WORKER_GOLDENS[task.benchmark] = run_golden(
-            _WORKER_PROGRAMS[task.benchmark], _WORKER_CONFIG
-        )
-    return execute_task(
-        task,
-        _WORKER_PROGRAMS[task.benchmark],
-        _WORKER_GOLDENS[task.benchmark],
-        _WORKER_CONFIG,
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = ExecutionContext(
+        programs=programs, config=config, runner=runner
     )
+
+
+def _worker_execute(task: object) -> object:
+    assert _WORKER_CONTEXT is not None
+    return _WORKER_CONTEXT.execute(task)
 
 
 class ProcessPoolBackend:
@@ -124,7 +133,7 @@ class ProcessPoolBackend:
         with ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_worker_init,
-            initargs=(context.programs, context.config),
+            initargs=(context.programs, context.config, context.runner),
         ) as pool:
             inflight = {}
             cursor = 0

@@ -1,0 +1,634 @@
+"""The coverage-guided fuzzing campaign driver.
+
+Execution model — generations with a deterministic barrier:
+
+* The driver schedules a fixed-size **batch** of tasks at a time. Every
+  task's genome is derived *before* execution from (master seed, global
+  execution index) plus the corpus as of the last batch boundary, so the
+  schedule is a pure function of the seed and past results.
+* Batches execute on the PR-1 :mod:`repro.exec` backends (Serial or
+  ProcessPool) through the pluggable-runner hook, so ``--jobs`` changes
+  wall-clock only: results are collected per batch and folded into the
+  coverage map / corpus **in canonical index order**, making the whole
+  campaign bit-identical for any worker count.
+* Completed evaluations append to a JSONL checkpoint (same torn-tail
+  tolerant format family as campaign checkpoints); ``--resume`` replays
+  recorded results through the driver instead of re-simulating them,
+  which reconstructs the exact corpus/coverage state deterministically.
+
+Any oracle failure is deduplicated by (failure tuple, coverage signature),
+minimized by the greedy shrinker, and written out as a self-contained
+repro artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bugs.models import BugSpec
+from repro.core.config import CoreConfig
+from repro.exec.backends import Backend, ExecutionContext, SerialBackend
+from repro.exec.checkpoint import (
+    CheckpointError,
+    _truncate_torn_tail,
+    spec_to_dict,
+)
+from repro.exec.progress import ProgressEvent, ProgressObserver
+from repro.fuzz.artifacts import (
+    ReproArtifact,
+    Verdict,
+    config_digest,
+    save_artifact,
+)
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.genome import (
+    ProgramGenome,
+    build_program,
+    mutate,
+    seed_genome,
+    splice,
+)
+from repro.fuzz.oracle import OracleReport, evaluate
+from repro.fuzz.shrink import shrink
+
+#: Domain separator for fuzz seed derivation (independent of the campaign
+#: engine's namespace); bump if the scheduling scheme ever changes.
+FUZZ_SEED_NAMESPACE = "idld-fuzz-v1"
+
+#: Fuzz checkpoint format version.
+FUZZ_CHECKPOINT_VERSION = 1
+
+
+def derive_fuzz_seed(master_seed: int, index: int) -> int:
+    """Stable per-execution seed (hash, not Python's randomized hash)."""
+    key = f"{FUZZ_SEED_NAMESPACE}:{master_seed}:{index}"
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class GeneratorLimits:
+    """Size knobs for freshly-seeded genomes."""
+
+    max_blocks: int = 5
+    block_len: int = 8
+    max_iters: int = 8
+    data_words: int = 24
+
+
+@dataclass(frozen=True)
+class FuzzTask:
+    """One scheduled oracle evaluation (picklable; ships to workers).
+
+    ``bug`` is normally None (the fuzzer hunts for *real* core/checker
+    bugs); campaigns armed with a known BugSpec exercise the oracle →
+    shrinker → artifact loop end-to-end and seed the failing half of the
+    regression corpus.
+    """
+
+    index: int
+    derived_seed: int
+    genome: ProgramGenome
+    origin: str  # "seed" | "mutant" | "splice"
+    bug: Optional[BugSpec] = None
+
+    @property
+    def key(self) -> str:
+        return str(self.index)
+
+
+@dataclass(frozen=True)
+class FuzzResult:
+    """What one evaluation sends back (plain data, picklable)."""
+
+    index: int
+    ok: bool
+    failures: Tuple[str, ...]
+    coverage: Tuple[str, ...]
+    cycles: int
+    committed: int
+    output_sha: str
+
+
+def run_fuzz_task(task: FuzzTask, context: ExecutionContext) -> FuzzResult:
+    """Module-level task runner (the backends' pluggable-runner target)."""
+    program = build_program(task.genome, name=f"fuzz{task.index}")
+    report = evaluate(program, config=context.config, bug=task.bug)
+    return FuzzResult(
+        index=task.index,
+        ok=report.ok,
+        failures=report.failures,
+        coverage=report.coverage,
+        cycles=report.cycles,
+        committed=report.committed,
+        output_sha=report.output_sha,
+    )
+
+
+@dataclass
+class Finding:
+    """One deduplicated oracle failure, after minimization."""
+
+    signature: str
+    failures: Tuple[str, ...]
+    first_index: int
+    genome: ProgramGenome
+    report: OracleReport
+    shrink_evaluations: int
+    artifact_path: Optional[str] = None
+
+
+@dataclass
+class CorpusEntry:
+    """One interesting (novel-coverage) input kept for future mutation."""
+
+    index: int
+    genome: ProgramGenome
+    origin: str
+    new_keys: Tuple[str, ...]
+    coverage: Tuple[str, ...]
+    ok: bool
+
+
+@dataclass
+class FuzzSummary:
+    """Everything a fuzz campaign produced (and the CLI reports)."""
+
+    seed: int
+    budget: int
+    batch: int
+    executed: int
+    restored: int
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    corpus: List[CorpusEntry] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    failure_runs: int = 0
+    elapsed_s: float = 0.0
+
+    def report_lines(self) -> List[str]:
+        """The deterministic coverage report (timing deliberately absent,
+        so ``--jobs N`` output is comparable line-for-line)."""
+        lines = [
+            f"fuzz: seed={self.seed} budget={self.budget} batch={self.batch}",
+            f"executions: {self.executed + self.restored} "
+            f"({self.restored} restored from checkpoint)",
+            f"coverage: {len(self.coverage)} buckets over "
+            f"{len(self.coverage.by_feature())} features",
+        ]
+        for family, count in sorted(self.coverage.by_feature().items()):
+            lines.append(f"  {family:<14} {count} buckets")
+        lines.append(f"corpus: {len(self.corpus)} interesting inputs")
+        lines.append(
+            f"failures: {self.failure_runs} runs, "
+            f"{len(self.findings)} unique findings"
+        )
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.signature}] {'+'.join(finding.failures)} "
+                f"first@{finding.first_index}"
+                + (
+                    f" -> {finding.artifact_path}"
+                    if finding.artifact_path
+                    else ""
+                )
+            )
+        return lines
+
+
+def failure_signature(
+    failures: Tuple[str, ...], coverage: Tuple[str, ...]
+) -> str:
+    """Dedup key: the failure tuple plus the run's coverage signature."""
+    payload = json.dumps([list(failures), list(coverage)])
+    return hashlib.blake2b(payload.encode(), digest_size=6).hexdigest()
+
+
+# -- checkpointing -----------------------------------------------------------
+
+
+def _result_to_record(result: FuzzResult) -> Dict[str, object]:
+    return {
+        "type": "eval",
+        "index": result.index,
+        "ok": result.ok,
+        "failures": list(result.failures),
+        "coverage": list(result.coverage),
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "output_sha": result.output_sha,
+    }
+
+
+def _result_from_record(record: Dict[str, object]) -> FuzzResult:
+    return FuzzResult(
+        index=record["index"],
+        ok=record["ok"],
+        failures=tuple(record["failures"]),
+        coverage=tuple(record["coverage"]),
+        cycles=record["cycles"],
+        committed=record["committed"],
+        output_sha=record["output_sha"],
+    )
+
+
+class _FuzzCheckpoint:
+    """Append-only JSONL log of completed evaluations."""
+
+    def __init__(self, path: str, manifest: Dict[str, object], resume: bool):
+        self.path = path
+        if resume:
+            _truncate_torn_tail(path)
+            self._handle = open(path, "a")
+        else:
+            self._handle = open(path, "w")
+            self._append(manifest)
+
+    def write(self, result: FuzzResult) -> None:
+        self._append(_result_to_record(result))
+
+    def _append(self, record: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def _fuzz_manifest(
+    seed: int,
+    batch: int,
+    limits: GeneratorLimits,
+    config: CoreConfig,
+    bug: Optional[BugSpec],
+) -> Dict[str, object]:
+    return {
+        "type": "fuzz-manifest",
+        "version": FUZZ_CHECKPOINT_VERSION,
+        "seed": seed,
+        "batch": batch,
+        "limits": {
+            "max_blocks": limits.max_blocks,
+            "block_len": limits.block_len,
+            "max_iters": limits.max_iters,
+            "data_words": limits.data_words,
+        },
+        "config_digest": config_digest(config),
+        "bug": spec_to_dict(bug) if bug is not None else None,
+    }
+
+
+def load_fuzz_checkpoint(
+    path: str,
+) -> Tuple[Dict[str, object], Dict[int, FuzzResult]]:
+    """Load manifest + recorded results, tolerating a torn final line."""
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise CheckpointError(f"{path}: empty fuzz checkpoint file")
+    records: List[Dict[str, object]] = []
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break  # torn final line from a killed run
+            raise CheckpointError(f"{path}:{lineno + 1}: corrupt record")
+    if not records:
+        raise CheckpointError(f"{path}: no complete records")
+    manifest = records[0]
+    if manifest.get("type") != "fuzz-manifest":
+        raise CheckpointError(
+            f"{path}: not a fuzz checkpoint (got {manifest.get('type')!r})"
+        )
+    if manifest.get("version") != FUZZ_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported fuzz checkpoint version "
+            f"{manifest.get('version')!r}"
+        )
+    done: Dict[int, FuzzResult] = {}
+    for record in records[1:]:
+        if record.get("type") != "eval":
+            raise CheckpointError(
+                f"unexpected record type {record.get('type')!r}"
+            )
+        result = _result_from_record(record)
+        done[result.index] = result
+    return manifest, done
+
+
+def _verify_fuzz_manifest(
+    manifest: Dict[str, object],
+    expected: Dict[str, object],
+    path: str,
+) -> None:
+    for key in ("seed", "batch", "limits", "config_digest", "bug"):
+        if manifest.get(key) != expected[key]:
+            raise CheckpointError(
+                f"{path}: checkpoint {key}={manifest.get(key)!r} does not "
+                f"match this campaign's {key}={expected[key]!r}; refusing "
+                "to resume"
+            )
+
+
+# -- the campaign ------------------------------------------------------------
+
+
+class FuzzCampaign:
+    """Holds the evolving corpus/coverage state across batches."""
+
+    def __init__(
+        self,
+        seed: int,
+        budget: int,
+        config: Optional[CoreConfig] = None,
+        batch: int = 32,
+        limits: GeneratorLimits = GeneratorLimits(),
+        shrink_budget: int = 250,
+        artifacts_dir: Optional[str] = None,
+        max_findings: int = 20,
+        bug: Optional[BugSpec] = None,
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        self.seed = seed
+        self.budget = budget
+        self.batch = batch
+        self.config = config or CoreConfig()
+        self.limits = limits
+        self.shrink_budget = shrink_budget
+        self.artifacts_dir = artifacts_dir
+        self.max_findings = max_findings
+        self.bug = bug
+        self.coverage = CoverageMap()
+        self.corpus: List[CorpusEntry] = []
+        self.findings: List[Finding] = []
+        self._seen_signatures: Dict[str, int] = {}
+        self.failure_runs = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, index: int) -> FuzzTask:
+        """Derive the genome for execution ``index`` from the corpus as of
+        the last batch barrier (pure function of seed + past results)."""
+        derived = derive_fuzz_seed(self.seed, index)
+        rng = random.Random(derived)
+        lim = self.limits
+        if not self.corpus:
+            origin = "seed"
+            genome = seed_genome(
+                rng, lim.max_blocks, lim.block_len, lim.max_iters,
+                lim.data_words,
+            )
+        else:
+            roll = rng.random()
+            if roll < 0.15:
+                origin = "seed"
+                genome = seed_genome(
+                    rng, lim.max_blocks, lim.block_len, lim.max_iters,
+                    lim.data_words,
+                )
+            elif roll < 0.40 and len(self.corpus) >= 2:
+                origin = "splice"
+                left = rng.choice(self.corpus).genome
+                right = rng.choice(self.corpus).genome
+                genome = splice(rng, left, right)
+            else:
+                origin = "mutant"
+                parent = rng.choice(self.corpus).genome
+                genome = mutate(rng, parent, rounds=rng.randint(1, 3))
+        return FuzzTask(
+            index=index,
+            derived_seed=derived,
+            genome=genome,
+            origin=origin,
+            bug=self.bug,
+        )
+
+    # -- state folding ------------------------------------------------------
+
+    def absorb(self, task: FuzzTask, result: FuzzResult) -> None:
+        """Fold one result into coverage/corpus/findings (canonical order)."""
+        new_keys = self.coverage.add(result.coverage)
+        if new_keys:
+            self.corpus.append(
+                CorpusEntry(
+                    index=task.index,
+                    genome=task.genome,
+                    origin=task.origin,
+                    new_keys=tuple(new_keys),
+                    coverage=result.coverage,
+                    ok=result.ok,
+                )
+            )
+        if result.ok:
+            return
+        self.failure_runs += 1
+        signature = failure_signature(result.failures, result.coverage)
+        if signature in self._seen_signatures:
+            return
+        self._seen_signatures[signature] = task.index
+        if len(self.findings) >= self.max_findings:
+            return
+        self.findings.append(self._minimize(signature, task, result))
+
+    def _minimize(
+        self, signature: str, task: FuzzTask, result: FuzzResult
+    ) -> Finding:
+        def oracle(genome: ProgramGenome) -> OracleReport:
+            return evaluate(
+                build_program(genome), config=self.config, bug=self.bug
+            )
+
+        shrunk = shrink(
+            task.genome, result.failures, oracle, budget=self.shrink_budget
+        )
+        finding = Finding(
+            signature=signature,
+            failures=result.failures,
+            first_index=task.index,
+            genome=shrunk.genome,
+            report=shrunk.report,
+            shrink_evaluations=shrunk.evaluations,
+        )
+        if self.artifacts_dir is not None:
+            artifact = ReproArtifact(
+                name="fail",
+                genome=shrunk.genome,
+                config=self.config,
+                verdict=Verdict.from_report(shrunk.report),
+                coverage=shrunk.report.coverage,
+                bug=self.bug,
+                seed=self.seed,
+                origin=f"fuzz:{task.origin}@{task.index}",
+            )
+            finding.artifact_path = save_artifact(artifact, self.artifacts_dir)
+        return finding
+
+    def save_corpus(self, directory: str) -> List[str]:
+        """Write every corpus entry as a (passing) repro artifact."""
+        paths = []
+        for entry in self.corpus:
+            program = build_program(entry.genome)
+            report = evaluate(program, config=self.config, bug=self.bug)
+            artifact = ReproArtifact(
+                name="cov",
+                genome=entry.genome,
+                config=self.config,
+                verdict=Verdict.from_report(report),
+                coverage=report.coverage,
+                bug=self.bug,
+                seed=self.seed,
+                origin=f"fuzz:{entry.origin}@{entry.index}",
+            )
+            paths.append(save_artifact(artifact, directory))
+        return paths
+
+
+def run_fuzz(
+    seed: int = 1,
+    budget: int = 500,
+    config: Optional[CoreConfig] = None,
+    backend: Optional[Backend] = None,
+    batch: int = 32,
+    limits: GeneratorLimits = GeneratorLimits(),
+    shrink_budget: int = 250,
+    artifacts_dir: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    observers: Sequence[ProgressObserver] = (),
+    save_corpus_dir: Optional[str] = None,
+    bug: Optional[BugSpec] = None,
+) -> FuzzSummary:
+    """Run one coverage-guided differential fuzzing campaign.
+
+    Args:
+        seed: Master seed; every scheduling decision derives from it.
+        budget: Total oracle evaluations to schedule (shrinking is extra).
+        config: Core configuration under test (paper defaults when None).
+        backend: Execution backend (:class:`SerialBackend` when None);
+            results are bit-identical for any backend/worker count.
+        batch: Generation size — the corpus-update barrier. Part of the
+            campaign identity: changing it changes the schedule.
+        shrink_budget: Max oracle evaluations per finding minimization.
+        artifacts_dir: Where failing repro artifacts are written.
+        checkpoint_path: Append each completed evaluation to this JSONL.
+        resume: Load ``checkpoint_path`` first; recorded evaluations are
+            replayed through the driver instead of re-simulated.
+        observers: Progress-event callables.
+        save_corpus_dir: If set, dump the final corpus as artifacts.
+        bug: Optional armed BugSpec applied to every evaluation — exercises
+            the oracle/shrinker/artifact loop against a known-bad core.
+
+    Returns:
+        The :class:`FuzzSummary` (coverage map, corpus, findings).
+    """
+    if resume and checkpoint_path is None:
+        raise ValueError("resume=True requires checkpoint_path")
+    campaign = FuzzCampaign(
+        seed=seed,
+        budget=budget,
+        config=config,
+        batch=batch,
+        limits=limits,
+        shrink_budget=shrink_budget,
+        artifacts_dir=artifacts_dir,
+        bug=bug,
+    )
+    backend = backend if backend is not None else SerialBackend()
+    context = ExecutionContext(
+        programs={}, config=campaign.config, runner=run_fuzz_task
+    )
+    expected_manifest = _fuzz_manifest(
+        seed, batch, limits, campaign.config, bug
+    )
+
+    restored: Dict[int, FuzzResult] = {}
+    if resume:
+        manifest, restored = load_fuzz_checkpoint(checkpoint_path)
+        _verify_fuzz_manifest(manifest, expected_manifest, checkpoint_path)
+
+    writer: Optional[_FuzzCheckpoint] = None
+    if checkpoint_path is not None:
+        writer = _FuzzCheckpoint(
+            checkpoint_path, expected_manifest, resume=resume
+        )
+
+    started = time.monotonic()
+    executed = 0
+    restored_used = 0
+
+    def emit() -> None:
+        elapsed = time.monotonic() - started
+        throughput = executed / elapsed if elapsed > 0 and executed else 0.0
+        done = restored_used + executed
+        eta = (
+            (budget - done) / throughput if throughput > 0 else None
+        )
+        event = ProgressEvent(
+            done=done,
+            total=budget,
+            skipped=restored_used,
+            elapsed_s=elapsed,
+            throughput=throughput,
+            eta_s=eta,
+            benchmark=None,
+        )
+        for observer in observers:
+            observer(event)
+
+    try:
+        index = 0
+        while index < budget:
+            size = min(batch, budget - index)
+            tasks = [campaign.schedule(index + i) for i in range(size)]
+            results: Dict[int, FuzzResult] = {}
+            pending = []
+            for task in tasks:
+                if task.index in restored:
+                    results[task.index] = restored[task.index]
+                    restored_used += 1
+                else:
+                    pending.append(task)
+            if pending and observers:
+                emit()
+            for task, result in backend.run(pending, context):
+                results[task.index] = result
+                if writer is not None:
+                    writer.write(result)
+                executed += 1
+                emit()
+            by_index = {task.index: task for task in tasks}
+            for i in sorted(results):
+                campaign.absorb(by_index[i], results[i])
+            index += size
+    finally:
+        if writer is not None:
+            writer.close()
+
+    if save_corpus_dir is not None:
+        campaign.save_corpus(save_corpus_dir)
+
+    summary = FuzzSummary(
+        seed=seed,
+        budget=budget,
+        batch=batch,
+        executed=executed,
+        restored=restored_used,
+        coverage=campaign.coverage,
+        corpus=campaign.corpus,
+        findings=campaign.findings,
+        failure_runs=campaign.failure_runs,
+        elapsed_s=time.monotonic() - started,
+    )
+    return summary

@@ -1,0 +1,46 @@
+"""Replay the seed regression corpus (tests/corpus/*.json).
+
+Each artifact is a self-contained fuzz repro: genome + core config +
+(optional) armed bug + the oracle verdict recorded when it was created.
+Replaying asserts the verdict still reproduces bit-for-bit, which turns
+every pinned finding and coverage seed into a permanent regression test:
+a core or detector change that alters any recorded outcome fails here
+with the exact artifact named.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/corpus/make_corpus.py
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.artifacts import load_artifact, replay_artifact
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ARTIFACTS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_present():
+    """The corpus ships with the repo; an empty glob means a packaging
+    problem, not a vacuously green suite."""
+    assert len(ARTIFACTS) >= 6
+
+
+@pytest.mark.parametrize(
+    "path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS]
+)
+def test_artifact_replays_to_recorded_verdict(path):
+    artifact = load_artifact(path)
+    matches, report = replay_artifact(artifact)
+    assert matches, (
+        f"{os.path.basename(path)}: recorded "
+        f"{'pass' if artifact.verdict.ok else '+'.join(artifact.verdict.failures)!r} "
+        f"but replay produced {report.verdict!r}"
+    )
+    # Failing artifacts must carry their armed bug (a failure on the
+    # bug-free core would be a real finding, pinned elsewhere).
+    if not artifact.verdict.ok:
+        assert artifact.bug is not None

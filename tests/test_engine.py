@@ -107,6 +107,27 @@ class TestBackendDeterminism:
         with pytest.raises(ValueError):
             ProcessPoolBackend(jobs=0)
 
+    def test_more_jobs_than_tasks(self, sha_only):
+        """A pool wider than the task list (idle workers) completes every
+        task exactly once and matches the serial results."""
+        tasks = generate_tasks(["sha"], 1, PRIMARY_MODELS, seed=77)
+        serial = run_engine(sha_only, 1, seed=77)
+        wide = run_engine(
+            sha_only, 1, seed=77, backend=ProcessPoolBackend(jobs=16)
+        )
+        assert len(wide.results) == len(tasks)
+        assert to_csv(wide) == to_csv(serial)
+
+    def test_single_worker_pool_matches_serial(self, sha_only):
+        """jobs=1 through the process pool (worker init, pickling, IPC) is
+        byte-identical to the in-process serial backend."""
+        serial = run_engine(sha_only, 2, seed=31, backend=SerialBackend())
+        pool = run_engine(
+            sha_only, 2, seed=31, backend=ProcessPoolBackend(jobs=1)
+        )
+        assert to_csv(pool) == to_csv(serial)
+        assert to_json(pool) == to_json(serial)
+
 
 class TestCheckpoint:
     def test_result_dict_roundtrip(self, small_campaign):
@@ -177,6 +198,37 @@ class TestResume:
         assert to_csv(resumed) == to_csv(full)
         assert events[0].skipped == 4
         # The resumed checkpoint file is itself complete and well-formed.
+        assert to_csv(campaign_from_checkpoint(part_path)) == to_csv(full)
+
+    def test_resume_from_empty_checkpoint_rejected(self, sha_only, tmp_path):
+        """A zero-byte checkpoint (crash before the manifest fsync landed)
+        is an explicit error, not a silent from-scratch restart."""
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        with pytest.raises(CheckpointError, match="empty"):
+            run_engine(sha_only, 2, seed=11, checkpoint_path=path, resume=True)
+
+    def test_resume_from_manifest_only_equals_uninterrupted(
+        self, sha_only, tmp_path
+    ):
+        """A checkpoint holding only the manifest (killed before the first
+        result) resumes to exactly the uninterrupted campaign, skipping
+        nothing."""
+        full_path = str(tmp_path / "full.jsonl")
+        part_path = str(tmp_path / "manifest-only.jsonl")
+        full = run_engine(sha_only, 3, seed=11, checkpoint_path=full_path)
+        self._truncate(full_path, part_path, keep_results=0)
+        events = []
+        resumed = run_engine(
+            sha_only,
+            3,
+            seed=11,
+            checkpoint_path=part_path,
+            resume=True,
+            observers=[events.append],
+        )
+        assert to_csv(resumed) == to_csv(full)
+        assert events[0].skipped == 0
         assert to_csv(campaign_from_checkpoint(part_path)) == to_csv(full)
 
     def test_resume_skips_completed_tasks(self, sha_only, tmp_path):
