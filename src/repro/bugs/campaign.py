@@ -16,8 +16,9 @@ and the CLI harness can scale up (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.analysis.outcomes import OutcomeClass
 from repro.bugs.classify import classify_run, timeout_budget
@@ -33,10 +34,19 @@ from repro.idld.counter import CounterScheme
 from repro.idld.endoftest import end_of_test_check
 from repro.isa.program import Program
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bugs.snapshot import SnapshotProvider
+
 
 @dataclass
 class InjectionResult:
-    """Everything recorded about one bug injection run."""
+    """Everything recorded about one bug injection run.
+
+    The two trailing fields are measurement metadata, not simulation
+    outcomes: they are excluded from equality so warm-started and cold runs
+    of the same spec compare equal, which is exactly the property the
+    differential tests assert.
+    """
 
     benchmark: str
     spec: BugSpec
@@ -50,6 +60,8 @@ class InjectionResult:
     bv_cycle: Optional[int]
     counter_cycle: Optional[int]
     eot_detected: bool
+    sim_wall_ns: Optional[int] = field(default=None, compare=False)
+    warm_start_cycles_skipped: int = field(default=0, compare=False)
 
     @property
     def masked(self) -> bool:
@@ -89,9 +101,12 @@ class InjectionResult:
 def run_golden(program: Program, config: Optional[CoreConfig] = None) -> RunResult:
     """Bug-free reference run of a program."""
     core = OoOCore(program, config=config)
+    started = time.perf_counter_ns()
     result = core.run()
     if not result.halted:
         raise RuntimeError(f"golden run of {program.name} did not halt")
+    result.stats["sim_wall_ns"] = time.perf_counter_ns() - started
+    result.stats["warm_start_cycles_skipped"] = 0
     return result
 
 
@@ -100,8 +115,18 @@ def run_injection(
     golden: RunResult,
     spec: BugSpec,
     config: Optional[CoreConfig] = None,
+    snapshots: Optional["SnapshotProvider"] = None,
 ) -> InjectionResult:
-    """Execute one buggy run with all detectors attached and classify it."""
+    """Execute one buggy run with all detectors attached and classify it.
+
+    With a :class:`~repro.bugs.snapshot.SnapshotProvider`, the bug-free
+    prefix is skipped: the nearest snapshot *strictly before*
+    ``spec.inject_cycle`` is restored and only the suffix is simulated.
+    A suppression armed for cycle c can fire during cycle c itself, so the
+    restore point must satisfy ``snapshot.cycle <= inject_cycle - 1``.
+    The result is bit-identical to a cold run (see tests/test_snapshot.py).
+    """
+    started = time.perf_counter_ns()
     fabric = SignalFabric()
     armed = arm(spec, fabric)
     idld = IDLDChecker()
@@ -110,6 +135,12 @@ def run_injection(
     core = OoOCore(
         program, config=config, observers=[idld, bv, counter], fabric=fabric
     )
+    skipped = 0
+    if snapshots is not None:
+        snap = snapshots.nearest(spec.inject_cycle - 1)
+        if snap is not None:
+            snapshots.restore_into(snap, core, (idld, bv, counter))
+            skipped = snap.cycle
     budget = timeout_budget(golden)
     error: Optional[Exception] = None
     try:
@@ -117,11 +148,14 @@ def run_injection(
     except SimulationError as exc:
         error = exc
         result = core.result()
+    result.stats["warm_start_cycles_skipped"] = skipped
     classification = classify_run(program, golden, result, error)
     persists: Optional[bool] = None
     if error is None and result.halted:
         persists = not core.census_is_clean()
     eot = end_of_test_check(classification.outcome, result.cycles)
+    wall_ns = time.perf_counter_ns() - started
+    result.stats["sim_wall_ns"] = wall_ns
     return InjectionResult(
         benchmark=program.name,
         spec=spec,
@@ -135,6 +169,8 @@ def run_injection(
         bv_cycle=bv.first_detection_cycle,
         counter_cycle=counter.first_detection_cycle,
         eot_detected=eot.detected,
+        sim_wall_ns=wall_ns,
+        warm_start_cycles_skipped=skipped,
     )
 
 
@@ -270,6 +306,7 @@ def run_campaign(
     seed: int = 1,
     config: Optional[CoreConfig] = None,
     max_attempts: int = 6,
+    snapshot_interval: int = 0,
 ) -> CampaignResult:
     """Run a full injection campaign (serially; see :mod:`repro.exec`).
 
@@ -285,6 +322,10 @@ def run_campaign(
         config: Core configuration (paper defaults when None).
         max_attempts: Redraws allowed until an injection actually fires
             (an armed signal nobody exercises has no effect); must be >= 1.
+        snapshot_interval: Warm-start snapshot period in cycles; 0 disables
+            warm starting (every injection simulates from power-on). Any
+            value yields bit-identical campaign results — it is purely a
+            throughput knob.
 
     Returns:
         The populated :class:`CampaignResult`.
@@ -298,4 +339,5 @@ def run_campaign(
         seed=seed,
         config=config,
         max_attempts=max_attempts,
+        snapshot_interval=snapshot_interval,
     )

@@ -1,0 +1,142 @@
+"""Warm-start snapshot provider for injection campaigns.
+
+An injection run is a golden run up to the moment the armed bug first
+perturbs the machine: the fabric's suppressions and corruptions are inert
+until ``fabric.cycle`` reaches their ``from_cycle``. A campaign therefore
+re-simulates the same bug-free prefix thousands of times — once per
+injection — just to arrive at a different ``inject_cycle``.
+
+:class:`SnapshotProvider` removes that redundancy. It performs one
+instrumented golden run per (benchmark, config) with the standard detector
+set attached, capturing a cheap :meth:`~repro.core.cpu.OoOCore.save_state`
+snapshot every ``interval`` cycles, and :func:`repro.bugs.campaign.run_injection`
+then restores the nearest snapshot *strictly before* the injection cycle
+and simulates only the suffix.
+
+Correctness hinges on the strictness: a suppression armed for cycle ``c``
+can fire during cycle ``c`` itself (the fabric is consulted with
+``fabric.cycle >= from_cycle``), so the newest safe snapshot is the one
+taken at the end of cycle ``c - 1``. Snapshots use ``light_trace`` mode —
+output/commit traces are stored as prefix lengths and sliced back out of
+the provider's own golden :class:`~repro.core.cpu.RunResult` on restore,
+keeping per-snapshot cost proportional to pipeline occupancy, not to how
+long the program has been running.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from typing import List, Optional, Tuple
+
+from repro.core.config import CoreConfig
+from repro.core.cpu import OoOCore, RunResult
+from repro.core.errors import DeadlockError
+from repro.idld.bitvector import BitVectorScheme
+from repro.idld.checker import IDLDChecker
+from repro.idld.counter import CounterScheme
+from repro.isa.program import Program
+
+
+class CoreSnapshot:
+    """One captured machine state: core + the three attached detectors."""
+
+    __slots__ = ("cycle", "core_state", "detector_states")
+
+    def __init__(
+        self,
+        cycle: int,
+        core_state: dict,
+        detector_states: Tuple[tuple, tuple, tuple],
+    ) -> None:
+        self.cycle = cycle
+        self.core_state = core_state
+        self.detector_states = detector_states
+
+
+def make_detectors() -> Tuple[IDLDChecker, BitVectorScheme, CounterScheme]:
+    """The standard campaign detector set, in canonical attach order."""
+    return (IDLDChecker(), BitVectorScheme(), CounterScheme())
+
+
+class SnapshotProvider:
+    """Periodic golden-run snapshots of one (benchmark, config) pair.
+
+    Attributes:
+        golden: The bug-free :class:`RunResult` of the instrumented run —
+            bit-identical to :func:`repro.bugs.campaign.run_golden` because
+            the detectors are pure observers.
+        interval: Capture period in cycles (must be >= 1).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        interval: int,
+        config: Optional[CoreConfig] = None,
+        max_cycles: int = 2_000_000,
+    ) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.program = program
+        self.interval = interval
+        self.config = config
+        detectors = make_detectors()
+        core = OoOCore(program, config=config, observers=list(detectors))
+        snapshots: List[CoreSnapshot] = []
+        deadlock = core.config.deadlock_cycles
+        started = time.perf_counter_ns()
+        while not core.halted and core.cycle < max_cycles:
+            core.step()
+            if core.cycle - core.last_progress_cycle > deadlock:
+                raise DeadlockError(core.cycle)
+            if core.cycle % interval == 0 and not core.halted:
+                snapshots.append(
+                    CoreSnapshot(
+                        core.cycle,
+                        core.save_state(light_trace=True),
+                        tuple(d.save_state() for d in detectors),
+                    )
+                )
+        self.golden = core.result()
+        if not self.golden.halted:
+            raise RuntimeError(
+                f"golden run of {program.name} did not halt"
+            )
+        # Same measurement keys run_golden stamps, so a provider-supplied
+        # golden is interchangeable with a plain one.
+        self.golden.stats["sim_wall_ns"] = time.perf_counter_ns() - started
+        self.golden.stats["warm_start_cycles_skipped"] = 0
+        # Injection cycles are drawn from [1, max(2, 0.9 * golden cycles)]
+        # (see repro.bugs.injector.draw_spec) and a snapshot at cycle c only
+        # serves injections strictly after c, so anything captured past the
+        # draw window can never be used.
+        window = max(2, int(self.golden.cycles * 0.9))
+        self._snapshots = [s for s in snapshots if s.cycle <= window - 1]
+        self._cycles = [s.cycle for s in self._snapshots]
+
+    @property
+    def count(self) -> int:
+        return len(self._snapshots)
+
+    def nearest(self, cycle: int) -> Optional[CoreSnapshot]:
+        """The latest snapshot taken at or before ``cycle``, if any."""
+        pos = bisect_right(self._cycles, cycle)
+        if pos == 0:
+            return None
+        return self._snapshots[pos - 1]
+
+    def restore_into(
+        self,
+        snapshot: CoreSnapshot,
+        core: OoOCore,
+        detectors: Tuple[IDLDChecker, BitVectorScheme, CounterScheme],
+    ) -> None:
+        """Load ``snapshot`` into a freshly-built core + detector set.
+
+        The core's own fabric (with whatever the caller armed on it) is
+        preserved; only its clock is synchronized to the snapshot cycle.
+        """
+        core.load_state(snapshot.core_state, trace_source=self.golden)
+        for detector, state in zip(detectors, snapshot.detector_states):
+            detector.load_state(state)

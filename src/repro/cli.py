@@ -64,6 +64,17 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         help="worker processes; results are identical for any N [1]",
     )
     parser.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=250,
+        metavar="K",
+        help=(
+            "warm-start injections from golden-run snapshots taken every K "
+            "cycles; 0 disables warm starting. Purely a throughput knob: "
+            "results are bit-identical for any K [250]"
+        ),
+    )
+    parser.add_argument(
         "--benchmarks",
         default="all",
         help="comma-separated benchmark names, or 'all'",
@@ -161,6 +172,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.snapshot_interval < 0:
+        print(
+            f"--snapshot-interval must be >= 0, got {args.snapshot_interval}",
+            file=sys.stderr,
+        )
+        return 2
     if args.checkpoint and args.resume:
         print(
             "--checkpoint and --resume are mutually exclusive "
@@ -230,6 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_path=args.resume or args.checkpoint,
             resume=args.resume is not None,
             observers=observers,
+            snapshot_interval=args.snapshot_interval,
         )
     except (CheckpointError, OSError) as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)

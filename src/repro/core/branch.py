@@ -42,6 +42,16 @@ class BimodalPredictor:
         else:
             self._counters[state] = max(0, counter - 1)
 
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot the counter table."""
+        return (tuple(self._counters),)
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        self._counters = list(state[0])
+
 
 class GSharePredictor:
     """Global-history-XOR-PC indexed 2-bit counters (the default).
@@ -90,3 +100,16 @@ class GSharePredictor:
         if mispredicted:
             # The front end restarts from the redirect with a clean history.
             self._spec_history = self._arch_history
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot counters + speculative/architectural histories."""
+        return (tuple(self._counters), self._spec_history, self._arch_history)
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        counters, spec, arch = state
+        self._counters = list(counters)
+        self._spec_history = spec
+        self._arch_history = arch

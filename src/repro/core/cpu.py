@@ -31,7 +31,7 @@ from repro.core.lsq import DataMemory, StoreQueue
 from repro.core.regfile import PhysicalRegisterFile
 from repro.core.rrs.checkpoint import CheckpointTable
 from repro.core.rrs.free_list import FreeList
-from repro.core.rrs.ports import RRSObserver
+from repro.core.rrs.ports import RRSObserver, listeners
 from repro.core.rrs.rat import RegisterAliasTable
 from repro.core.rrs.rht import RegisterHistoryTable
 from repro.core.rrs.rob import ReorderBuffer
@@ -98,6 +98,17 @@ class OoOCore:
         self.config = config or CoreConfig()
         self.fabric = fabric or SignalFabric()
         self.observers: List[RRSObserver] = list(observers)
+        # Per-event dispatch lists: only observers that override a hook are
+        # called for it, so a hook nobody overrides costs nothing per event.
+        self._on_recovery_begin = listeners(self.observers, "recovery_begin")
+        self._on_recovery_end = listeners(self.observers, "recovery_end")
+        self._on_flush_initiated = listeners(self.observers, "flush_initiated")
+        self._on_checkpoint_restored = listeners(
+            self.observers, "checkpoint_restored"
+        )
+        self._on_load_replay = listeners(self.observers, "load_replay")
+        self._on_pipeline_empty = listeners(self.observers, "pipeline_empty")
+        self._on_cycle_end = listeners(self.observers, "cycle_end")
 
         cfg = self.config
         self.zero_pdst = cfg.zero_pdst
@@ -164,8 +175,17 @@ class OoOCore:
         self.fetch_stalled = False
         self.fetch_queue: List[Uop] = []
         self.issue_queue: List[Uop] = []
+        # Actionable subsequence of issue_queue (seq order): uops worth an
+        # issue attempt this cycle. Source-blocked uops leave the scan and
+        # re-enter via the wakeup scoreboard when their pdst is written.
+        self._issue_scan: List[Uop] = []
         self.executing: List[Tuple[int, Uop]] = []
         self.pending_flushes: List[Uop] = []
+        # Issue wakeup scoreboard: pdst -> uops whose issue attempt stalled
+        # on that (not-ready) source. A blocked uop is skipped by the issue
+        # stage until the pdst is written; skipping is behavior-identical
+        # because a source-blocked issue attempt has no side effects.
+        self._wakeups: Dict[int, List[Uop]] = {}
         self.recovery: Optional[_Recovery] = None
         self.allocs_since_checkpoint = 0
         self.output: List[int] = []
@@ -227,12 +247,13 @@ class OoOCore:
 
     def step(self) -> None:
         """Advance one clock cycle."""
-        self.cycle += 1
-        self.fabric.cycle = self.cycle
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        self.fabric.cycle = cycle
         if self.recovery is not None:
             self._recovery_step()
             self.stats["recovery_cycles"] += 1
-            self.last_progress_cycle = self.cycle
+            self.last_progress_cycle = cycle
         else:
             self._commit_stage()
         self._execute_stage()
@@ -242,10 +263,15 @@ class OoOCore:
             self._maybe_emergency_checkpoint()
             self._rename_stage()
             self._fetch_stage()
-        for obs in self.observers:
-            if self.rob.empty and self.recovery is None:
-                obs.pipeline_empty(self.cycle)
-            obs.cycle_end(self.cycle)
+        if (
+            self._on_pipeline_empty
+            and self.rob.empty
+            and self.recovery is None
+        ):
+            for hook in self._on_pipeline_empty:
+                hook(cycle)
+        for hook in self._on_cycle_end:
+            hook(cycle)
 
     # -- commit -------------------------------------------------------------------
 
@@ -286,6 +312,8 @@ class OoOCore:
     # -- execute ---------------------------------------------------------------------
 
     def _execute_stage(self) -> None:
+        if not self.executing:
+            return
         still: List[Tuple[int, Uop]] = []
         for finish, uop in self.executing:
             if uop.state is UopState.SQUASHED:
@@ -300,6 +328,12 @@ class OoOCore:
         inst = uop.inst
         if uop.pdst is not None:
             self.prf.write(uop.pdst, uop.result)
+            waiters = self._wakeups.pop(uop.pdst, None)
+            if waiters is not None:
+                for waiter in waiters:
+                    waiter.wait_pdst = None
+                    if waiter.state is not UopState.SQUASHED:
+                        self._scan_insert(waiter)
         uop.state = UopState.DONE
         uop.done_cycle = self.cycle
         if inst.is_branch:
@@ -315,6 +349,8 @@ class OoOCore:
     # -- flush arbitration ----------------------------------------------------------------
 
     def _flush_arbitration(self) -> None:
+        if not self.pending_flushes:
+            return
         self.pending_flushes = [
             u for u in self.pending_flushes if u.state is not UopState.SQUASHED
         ]
@@ -326,8 +362,8 @@ class OoOCore:
 
     def _begin_recovery(self, offender: Uop) -> None:
         self.stats["flushes"] += 1
-        for obs in self.observers:
-            obs.recovery_begin(self.cycle)
+        for hook in self._on_recovery_begin:
+            hook(self.cycle)
         f_seq = offender.seq
         rht_tail_at_flush = self.rht.tail_pos
         # Squash younger in-flight work everywhere.
@@ -337,6 +373,9 @@ class OoOCore:
             if uop.seq > f_seq:
                 uop.state = UopState.SQUASHED
         self.issue_queue = [u for u in self.issue_queue if u.seq <= f_seq]
+        self._issue_scan = [
+            u for u in self.issue_queue if u.wait_pdst is None
+        ]
         for _, uop in self.executing:
             if uop.seq > f_seq:
                 uop.state = UopState.SQUASHED
@@ -347,8 +386,8 @@ class OoOCore:
             if slot.seq > f_seq and slot.uop is not None:
                 slot.uop.state = UopState.SQUASHED
                 squashed += 1
-        for obs in self.observers:
-            obs.flush_initiated(self.cycle, f_seq, squashed)
+        for hook in self._on_flush_initiated:
+            hook(self.cycle, f_seq, squashed)
         self.store_queue.squash_after(f_seq)
         self.rob.squash_after(f_seq)
         # Select and restore the closest previous checkpoint.
@@ -358,8 +397,8 @@ class OoOCore:
                 self.cycle, "no checkpoint available for recovery"
             )
         if self.rat.restore(ckpt.rat_image):
-            for obs in self.observers:
-                obs.checkpoint_restored(ckpt.index)
+            for hook in self._on_checkpoint_restored:
+                hook(ckpt.index)
         self.ckpt.free_younger_than(f_seq + 1)
         pos_start = ckpt.rht_pos
         pos_end = ckpt.rht_pos + (f_seq - ckpt.pos) + 1  # exclusive
@@ -404,39 +443,81 @@ class OoOCore:
         self.fetch_stalled = not (0 <= self.fetch_pc < len(self.program))
         self.allocs_since_checkpoint = 0
         self.recovery = None
-        for obs in self.observers:
-            obs.recovery_end(self.cycle)
+        for hook in self._on_recovery_end:
+            hook(self.cycle)
 
     # -- issue / execute entry -----------------------------------------------------------------
 
-    def _issue_stage(self) -> None:
-        issued = 0
-        remaining: List[Uop] = []
-        for uop in self.issue_queue:
-            if uop.state is UopState.SQUASHED:
-                continue
-            if issued >= self.config.issue_width or not self._try_issue(uop):
-                remaining.append(uop)
+    def _scan_insert(self, uop: Uop) -> None:
+        """Re-enter a woken uop into the actionable scan at its seq slot."""
+        scan = self._issue_scan
+        seq = uop.seq
+        if not scan or scan[-1].seq <= seq:
+            scan.append(uop)
+            return
+        lo, hi = 0, len(scan)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if scan[mid].seq < seq:
+                lo = mid + 1
             else:
+                hi = mid
+        scan.insert(lo, uop)
+
+    def _issue_stage(self) -> None:
+        scan = self._issue_scan
+        if not scan:
+            return
+        issued = 0
+        width = self.config.issue_width
+        keep: List[Uop] = []
+        changed = False
+        for i, uop in enumerate(scan):
+            if issued >= width:
+                # Width exhausted: the rest stays actionable, untried --
+                # exactly what the full queue walk did.
+                keep.extend(scan[i:])
+                break
+            if self._try_issue(uop):
                 issued += 1
                 self.last_progress_cycle = self.cycle
-        self.issue_queue = remaining
+                changed = True
+            elif uop.wait_pdst is None:
+                # Replay-stalled load: must retry (and count) every cycle.
+                keep.append(uop)
+            else:
+                # Source-blocked: parked in the wakeup scoreboard.
+                changed = True
+        if changed:
+            self._issue_scan = keep
+        if issued:
+            # Issued uops are EXECUTING now; everything still waiting keeps
+            # its queue slot (and its claim on the issue-queue capacity).
+            self.issue_queue = [
+                u for u in self.issue_queue if u.state is UopState.WAITING
+            ]
 
     def _try_issue(self, uop: Uop) -> bool:
         inst = uop.inst
+        prf = self.prf
         for pdst in uop.src_pdsts:
-            if not self.prf.is_ready(pdst):
+            if not prf.is_ready(pdst):
+                uop.wait_pdst = pdst
+                self._wakeups.setdefault(pdst, []).append(uop)
                 return False
-        values = [self.prf.read(p) for p in uop.src_pdsts]
         if inst.is_load:
-            address = (values[0] + inst.imm) & WORD_MASK
+            # Loads check store-queue ordering before anything else: a
+            # stalled load retries every cycle (replay counts and events
+            # must match the unoptimized engine), so its path reads only
+            # the address base instead of building the full operand list.
+            address = (prf.read(uop.src_pdsts[0]) + inst.imm) & WORD_MASK
             must_stall, forwarded = self.store_queue.forward_for_load(
                 uop.seq, address
             )
             if must_stall:
                 self.stats["load_replays"] += 1
-                for obs in self.observers:
-                    obs.load_replay(self.cycle, uop.seq)
+                for hook in self._on_load_replay:
+                    hook(self.cycle, uop.seq)
                 return False
             uop.mem_address = address
             if address >= self.config.memory_limit:
@@ -446,7 +527,12 @@ class OoOCore:
                 uop.result = (
                     forwarded if forwarded is not None else self.memory.read(address)
                 )
-        elif inst.is_store:
+            uop.state = UopState.EXECUTING
+            latency = self.config.latencies.get(inst.opcode, 1)
+            self.executing.append((self.cycle + latency, uop))
+            return True
+        values = [prf.read(p) for p in uop.src_pdsts]
+        if inst.is_store:
             address = (values[0] + inst.imm) & WORD_MASK
             uop.mem_address = address
             uop.result = values[1]
@@ -498,14 +584,17 @@ class OoOCore:
         for _ in range(cfg.width):
             if not self.fetch_queue:
                 break
-            uop = self.fetch_queue[0]
-            inst = uop.inst
-            eliminated = self._is_zero_idiom(inst)
-            needs_queue = self._needs_issue_queue(inst) and not eliminated
+            # Structural gates first (all pure checks, so the order among
+            # them is free): a back-pressured cycle breaks before paying
+            # for the per-instruction idiom/queue classification.
             if self.rob.full:
                 break
             if self.rht.occupancy >= self.rht.capacity:
                 break
+            uop = self.fetch_queue[0]
+            inst = uop.inst
+            eliminated = self._is_zero_idiom(inst)
+            needs_queue = self._needs_issue_queue(inst) and not eliminated
             if inst.writes_register and not eliminated and self.free_list.count <= 0:
                 break
             if needs_queue and len(self.issue_queue) >= cfg.issue_queue_entries:
@@ -577,6 +666,7 @@ class OoOCore:
         if self._needs_issue_queue(inst):
             uop.state = UopState.WAITING
             self.issue_queue.append(uop)
+            self._issue_scan.append(uop)
         else:
             uop.state = UopState.DONE
             uop.done_cycle = self.cycle
@@ -618,6 +708,151 @@ class OoOCore:
                 continue
             self.fetch_queue.append(uop)
             self.fetch_pc = pc + 1
+
+    # -- warm-start snapshot/restore ----------------------------------------------------------
+
+    def save_state(self, light_trace: bool = False) -> dict:
+        """Capture the complete dynamic core state as plain containers.
+
+        In-flight :class:`Uop` objects are interned so the identity sharing
+        between the fetch/issue/execute queues, the flush list, and the ROB
+        slots survives a round trip. ``inst`` references are not stored;
+        they are re-derived from each uop's ``pc`` on load.
+
+        With ``light_trace`` the (monotonically growing) output and commit
+        traces are stored as *lengths* only; :meth:`load_state` then slices
+        the prefixes out of the golden :class:`RunResult` the snapshot came
+        from. This keeps per-snapshot cost O(pipeline), not O(trace).
+        """
+        uops: List[Uop] = []
+        index: Dict[int, int] = {}
+
+        def ref(uop: Optional[Uop]) -> int:
+            if uop is None:
+                return -1
+            key = id(uop)
+            pos = index.get(key)
+            if pos is None:
+                pos = len(uops)
+                index[key] = pos
+                uops.append(uop)
+            return pos
+
+        fetch_queue = tuple(ref(u) for u in self.fetch_queue)
+        issue_queue = tuple(ref(u) for u in self.issue_queue)
+        executing = tuple((finish, ref(u)) for finish, u in self.executing)
+        pending_flushes = tuple(ref(u) for u in self.pending_flushes)
+        rob = self.rob.save_state(ref)
+        rec = self.recovery
+        recovery = None if rec is None else (
+            rec.offender_seq, rec.redirect_pc, rec.pos_ptr, rec.pos_end,
+            rec.neg_ptr, rec.neg_end, rec.new_rht_tail,
+        )
+        if light_trace:
+            trace = (len(self.output), len(self.commit_pcs))
+        else:
+            trace = (
+                list(self.output),
+                list(self.commit_pcs),
+                list(self.commit_cycles),
+            )
+        return {
+            "cycle": self.cycle,
+            "halted": self.halted,
+            "fetch_pc": self.fetch_pc,
+            "fetch_stalled": self.fetch_stalled,
+            "allocs_since_checkpoint": self.allocs_since_checkpoint,
+            "last_progress_cycle": self.last_progress_cycle,
+            "stats": dict(self.stats),
+            "light_trace": light_trace,
+            "trace": trace,
+            "uops": tuple(u.save_state() for u in uops),
+            "fetch_queue": fetch_queue,
+            "issue_queue": issue_queue,
+            "executing": executing,
+            "pending_flushes": pending_flushes,
+            "recovery": recovery,
+            "rob": rob,
+            "free_list": self.free_list.save_state(),
+            "rat": self.rat.save_state(),
+            "rht": self.rht.save_state(),
+            "ckpt": self.ckpt.save_state(),
+            "prf": self.prf.save_state(),
+            "memory": self.memory.save_state(),
+            "store_queue": self.store_queue.save_state(),
+            "predictor": self.predictor.save_state(),
+            "parity": {
+                name: store.save_state()
+                for name, store in self.parity.items()
+            },
+        }
+
+    def load_state(
+        self,
+        state: dict,
+        trace_source: Optional[RunResult] = None,
+    ) -> None:
+        """Restore a :meth:`save_state` snapshot into this core.
+
+        The core must have been constructed over the same program and
+        config the snapshot came from. The fabric's clock is synchronized
+        but its armings are untouched, so a freshly-armed injection fabric
+        resumes with its bug still pending.
+        """
+        instructions = self.program.instructions
+        uops = [
+            Uop.from_state(data, instructions[data[1]])
+            for data in state["uops"]
+        ]
+        self.cycle = state["cycle"]
+        self.fabric.cycle = state["cycle"]
+        self.halted = state["halted"]
+        self.fetch_pc = state["fetch_pc"]
+        self.fetch_stalled = state["fetch_stalled"]
+        self.allocs_since_checkpoint = state["allocs_since_checkpoint"]
+        self.last_progress_cycle = state["last_progress_cycle"]
+        self.stats = dict(state["stats"])
+        self.fetch_queue = [uops[i] for i in state["fetch_queue"]]
+        self.issue_queue = [uops[i] for i in state["issue_queue"]]
+        # Restored uops all carry wait_pdst=None, so the whole queue starts
+        # actionable; blocked ones re-park on their first (side-effect-free)
+        # failed attempt.
+        self._issue_scan = list(self.issue_queue)
+        self.executing = [(finish, uops[i]) for finish, i in state["executing"]]
+        self.pending_flushes = [uops[i] for i in state["pending_flushes"]]
+        # Restored uops come back with wait_pdst=None: each blocked uop
+        # retries once (a no-side-effect failure) and re-blocks, so the
+        # scoreboard never needs to be part of the snapshot.
+        self._wakeups = {}
+        rec = state["recovery"]
+        self.recovery = None if rec is None else _Recovery(*rec)
+        if state["light_trace"]:
+            if trace_source is None:
+                raise ValueError(
+                    "light-trace snapshot needs the golden RunResult it "
+                    "was captured from"
+                )
+            out_len, committed = state["trace"]
+            self.output = list(trace_source.output[:out_len])
+            self.commit_pcs = list(trace_source.commit_pcs[:committed])
+            self.commit_cycles = list(trace_source.commit_cycles[:committed])
+        else:
+            output, commit_pcs, commit_cycles = state["trace"]
+            self.output = list(output)
+            self.commit_pcs = list(commit_pcs)
+            self.commit_cycles = list(commit_cycles)
+        self.rob.load_state(state["rob"], uops)
+        self.free_list.load_state(state["free_list"])
+        self.rat.load_state(state["rat"])
+        self.rht.load_state(state["rht"])
+        self.ckpt.load_state(state["ckpt"])
+        self.prf.load_state(state["prf"])
+        self.memory.load_state(state["memory"])
+        self.store_queue.load_state(state["store_queue"])
+        self.predictor.load_state(state["predictor"])
+        for name, sub in state["parity"].items():
+            if name in self.parity:
+                self.parity[name].load_state(sub)
 
     # -- probes -------------------------------------------------------------------------------
 

@@ -57,6 +57,16 @@ class DataMemory:
         if address >= self.limit:
             raise MemoryFault(cycle, address)
 
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> dict:
+        """Snapshot the committed word store (sparse dict copy)."""
+        return dict(self._words)
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        self._words = dict(state)
+
 
 class StoreQueue:
     """In-order queue of in-flight stores with forwarding search."""
@@ -66,9 +76,15 @@ class StoreQueue:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries: List[StoreQueueEntry] = []
+        # must-stall memo: load_seq -> address for which the ordering scan
+        # last returned must_stall. Valid only while the queue is unchanged;
+        # every mutation clears it. Replay-stalled loads re-run the scan
+        # every cycle, so a livelocked (frozen) queue answers in O(1).
+        self._stall_memo: Dict[int, int] = {}
 
     def reset(self) -> None:
         self._entries = []
+        self._stall_memo = {}
 
     @property
     def full(self) -> bool:
@@ -83,6 +99,8 @@ class StoreQueue:
             raise SimulatorAssertion(0, "store queue overflow")
         entry = StoreQueueEntry(seq)
         self._entries.append(entry)
+        if self._stall_memo:
+            self._stall_memo = {}
         return entry
 
     def resolve(self, seq: int, address: int, value: int) -> None:
@@ -91,6 +109,8 @@ class StoreQueue:
             if entry.seq == seq:
                 entry.address = address & WORD_MASK
                 entry.value = value & WORD_MASK
+                if self._stall_memo:
+                    self._stall_memo = {}
                 return
 
     def forward_for_load(
@@ -105,11 +125,14 @@ class StoreQueue:
             read memory.
         """
         address &= WORD_MASK
+        if self._stall_memo.get(load_seq) == address:
+            return True, None
         value: Optional[int] = None
         for entry in self._entries:
             if entry.seq >= load_seq:
                 continue
-            if not entry.resolved:
+            if entry.address is None:
+                self._stall_memo[load_seq] = address
                 return True, None
             if entry.address == address:
                 value = entry.value
@@ -119,9 +142,27 @@ class StoreQueue:
         """Free the entry of a committing store (oldest-first by design)."""
         for i, entry in enumerate(self._entries):
             if entry.seq == seq:
+                if self._stall_memo:
+                    self._stall_memo = {}
                 return self._entries.pop(i)
         return None
 
     def squash_after(self, offender_seq: int) -> None:
         """Drop entries younger than the flush offender."""
         self._entries = [e for e in self._entries if e.seq <= offender_seq]
+        if self._stall_memo:
+            self._stall_memo = {}
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot the in-flight stores as plain tuples."""
+        return tuple((e.seq, e.address, e.value) for e in self._entries)
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        self._entries = [
+            StoreQueueEntry(seq, address, value)
+            for seq, address, value in state
+        ]
+        self._stall_memo = {}

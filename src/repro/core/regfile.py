@@ -42,3 +42,15 @@ class PhysicalRegisterFile:
 
     def read(self, pdst: int) -> int:
         return self._values[pdst]
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot values + ready bits."""
+        return (tuple(self._values), tuple(self._ready))
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        values, ready = state
+        self._values = list(values)
+        self._ready = list(ready)

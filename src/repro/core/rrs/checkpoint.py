@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.rrs.ports import RRSObserver
+from repro.core.rrs.ports import RRSObserver, listeners
 from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
 
 
@@ -57,10 +57,20 @@ class CheckpointTable:
             raise ValueError("need at least one checkpoint slot")
         self._fabric = fabric
         self._observers = observers
+        self._on_content = listeners(observers, "checkpoint_content")
+        self._on_meta = listeners(observers, "checkpoint_meta")
+        self._on_freed = listeners(observers, "checkpoint_freed")
         self._slots = [CheckpointSlot(i) for i in range(num_slots)]
+        # retire_anchor() runs every cycle from the commit stage but can
+        # only change its answer after a slot mutation; memoize on a
+        # monotonically bumped table version to make the idle case O(1).
+        self._version = 0
+        self._retire_memo: Optional[tuple] = None
 
     def reset(self, initial_rat: Sequence[int]) -> None:
         """Power-on: slot 0 anchors the initial architectural state."""
+        self._version += 1
+        self._retire_memo = None
         for slot in self._slots:
             slot.valid = False
             slot.pos = -1
@@ -98,24 +108,25 @@ class CheckpointTable:
             checkpoint is skipped; recovery simply walks further).
         """
         slot = self._find_free_slot()
+        self._version += 1
         if slot is None:
             if not force:
                 return None
             slot = min(
                 (s for s in self._slots if s.valid), key=lambda s: s.pos
             )
-            for obs in self._observers:
-                obs.checkpoint_freed(slot.index)
+            for hook in self._on_freed:
+                hook(slot.index)
         # Metadata always advances; the content capture is gated.
         slot.valid = True
         slot.pos = pos
         slot.rht_pos = rht_pos
         if self._fabric.asserted(ArrayName.CKPT, SignalKind.CHECKPOINT):
             slot.rat_image = list(rat_image)
-            for obs in self._observers:
-                obs.checkpoint_content(slot.index, pos)
-        for obs in self._observers:
-            obs.checkpoint_meta(slot.index, pos)
+            for hook in self._on_content:
+                hook(slot.index, pos)
+        for hook in self._on_meta:
+            hook(slot.index, pos)
         return slot
 
     # -- selection / lifetime -------------------------------------------------------
@@ -131,11 +142,12 @@ class CheckpointTable:
 
     def free_younger_than(self, pos: int) -> None:
         """Release slots captured past a squash point."""
+        self._version += 1
         for slot in self._slots:
             if slot.valid and slot.pos > pos:
                 slot.valid = False
-                for obs in self._observers:
-                    obs.checkpoint_freed(slot.index)
+                for hook in self._on_freed:
+                    hook(slot.index)
 
     def retire_anchor(self, commit_seq: int) -> Optional[CheckpointSlot]:
         """Advance the anchor to the youngest slot at/below the commit point.
@@ -143,6 +155,16 @@ class CheckpointTable:
         Frees every older slot and returns the anchor (None only if the
         table is in a bug-corrupted state with no usable slot).
         """
+        memo = self._retire_memo
+        if (
+            memo is not None
+            and memo[0] == commit_seq
+            and memo[1] == self._version
+        ):
+            # No slot changed since the last call with this commit point:
+            # re-running the scan would free nothing and pick the same
+            # anchor, so the memoized answer is exact.
+            return memo[2]
         anchor = None
         for slot in self._slots:
             if slot.valid and slot.pos <= commit_seq:
@@ -152,8 +174,10 @@ class CheckpointTable:
             for slot in self._slots:
                 if slot.valid and slot.pos < anchor.pos:
                     slot.valid = False
-                    for obs in self._observers:
-                        obs.checkpoint_freed(slot.index)
+                    self._version += 1
+                    for hook in self._on_freed:
+                        hook(slot.index)
+        self._retire_memo = (commit_seq, self._version, anchor)
         return anchor
 
     # -- probes -------------------------------------------------------------------
@@ -163,3 +187,23 @@ class CheckpointTable:
 
     def __len__(self) -> int:
         return len(self._slots)
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot every slot (invalid slots keep their stale images, which
+        a suppressed-capture bug can later restore from)."""
+        return tuple(
+            (s.valid, s.pos, s.rht_pos, tuple(s.rat_image))
+            for s in self._slots
+        )
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        self._version += 1
+        self._retire_memo = None
+        for slot, (valid, pos, rht_pos, rat_image) in zip(self._slots, state):
+            slot.valid = valid
+            slot.pos = pos
+            slot.rht_pos = rht_pos
+            slot.rat_image = list(rat_image)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.core.errors import SimulatorAssertion
-from repro.core.rrs.ports import RRSObserver
+from repro.core.rrs.ports import RRSObserver, listeners
 from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- idld)
@@ -35,6 +35,8 @@ class FreeList:
         self.capacity = capacity
         self._fabric = fabric
         self._observers = observers
+        self._on_read = listeners(observers, "fl_read")
+        self._on_write = listeners(observers, "fl_write")
         self._parity = parity
         self._array: List[int] = [0] * capacity
         self._head = 0
@@ -93,8 +95,8 @@ class FreeList:
         if self._fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE):
             self._head = (self._head + 1) % self.capacity
             self._count -= 1
-            for obs in self._observers:
-                obs.fl_read(value)
+            for hook in self._on_read:
+                hook(value)
         return value
 
     def push(self, pdst: int) -> None:
@@ -117,8 +119,8 @@ class FreeList:
                 self._parity.on_write(self._tail, pdst)
             self._tail = (self._tail + 1) % self.capacity
             self._count += 1
-            for obs in self._observers:
-                obs.fl_write(pdst)
+            for hook in self._on_write:
+                hook(pdst)
 
     def corrupt_stored(self, offset: int, xor_mask: int) -> int:
         """Fault injection: flip bits of the ``offset``-th live entry
@@ -144,3 +146,18 @@ class FreeList:
             self._array[(self._head + i) % self.capacity]
             for i in range(self._count)
         ]
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot the full backing array and pointers (stale slots too:
+        a suppressed read re-delivers whatever the storage holds)."""
+        return (tuple(self._array), self._head, self._tail, self._count)
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        array, head, tail, count = state
+        self._array = list(array)
+        self._head = head
+        self._tail = tail
+        self._count = count

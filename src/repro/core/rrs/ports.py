@@ -9,6 +9,8 @@ hardware of the paper would behave.
 
 from __future__ import annotations
 
+from typing import Callable, Iterable, List, Tuple
+
 
 class RRSObserver:
     """Base class: every hook is a no-op; detectors override what they need.
@@ -110,3 +112,25 @@ class RRSObserver:
 
     def cycle_end(self, cycle: int) -> None:
         """All port traffic for ``cycle`` has been delivered."""
+
+
+def overrides_hook(observer: RRSObserver, hook: str) -> bool:
+    """True when ``observer``'s class overrides the named base-class hook."""
+    return getattr(type(observer), hook) is not getattr(RRSObserver, hook)
+
+
+def listeners(
+    observers: Iterable[RRSObserver], hook: str
+) -> Tuple[Callable[..., None], ...]:
+    """Bound methods of the observers that actually override ``hook``.
+
+    Arrays and the core build these dispatch lists once at attach time, so
+    the per-event hot path calls only real handlers: an observer that keeps
+    the base-class no-op for a hook costs zero calls on that event, and an
+    empty tuple short-circuits the dispatch entirely.
+    """
+    out: List[Callable[..., None]] = []
+    for obs in observers:
+        if overrides_hook(obs, hook):
+            out.append(getattr(obs, hook))
+    return tuple(out)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from repro.core.rrs.ports import RRSObserver
+from repro.core.rrs.ports import RRSObserver, listeners
 from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- idld)
@@ -33,6 +33,9 @@ class RegisterAliasTable:
         self.num_logical = num_logical
         self._fabric = fabric
         self._observers = observers
+        self._on_write = listeners(observers, "rat_write")
+        self._on_write_zero_idiom = listeners(observers, "rat_write_zero_idiom")
+        self._on_write_over_zero = listeners(observers, "rat_write_over_zero")
         self._zero_pdst = zero_pdst
         self._parity = parity
         self._table: List[int] = list(range(num_logical))
@@ -73,11 +76,11 @@ class RegisterAliasTable:
             if old == self._zero_pdst:
                 # Remapping a shared-zero instance: only the inserted
                 # identifier enters the code (the shared id is untracked).
-                for obs in self._observers:
-                    obs.rat_write_over_zero(ldst, driven)
+                for hook in self._on_write_over_zero:
+                    hook(ldst, driven)
             else:
-                for obs in self._observers:
-                    obs.rat_write(ldst, old, driven)
+                for hook in self._on_write:
+                    hook(ldst, old, driven)
         return driven
 
     def write_zero_idiom(self, ldst: int) -> None:
@@ -104,15 +107,15 @@ class RegisterAliasTable:
             if old == self._zero_pdst:
                 if not marked:
                     # Untagged shared-id insertion over a shared id.
-                    for obs in self._observers:
-                        obs.rat_write_over_zero(ldst, self._zero_pdst)
+                    for hook in self._on_write_over_zero:
+                        hook(ldst, self._zero_pdst)
                 return
             if marked:
-                for obs in self._observers:
-                    obs.rat_write_zero_idiom(ldst, old)
+                for hook in self._on_write_zero_idiom:
+                    hook(ldst, old)
             else:
-                for obs in self._observers:
-                    obs.rat_write(ldst, old, self._zero_pdst)
+                for hook in self._on_write:
+                    hook(ldst, old, self._zero_pdst)
 
     def restore(self, snapshot: Sequence[int]) -> bool:
         """Recovery-time bulk restore from a checkpoint image.
@@ -143,3 +146,17 @@ class RegisterAliasTable:
     def contents(self) -> List[int]:
         """Alias of :meth:`snapshot` for probe symmetry with the FIFOs."""
         return list(self._table)
+
+    # -- warm-start snapshot/restore -----------------------------------------
+    #
+    # Named save_state/load_state to stay clearly apart from the
+    # microarchitectural snapshot()/restore() pair above, which model the
+    # checkpoint-capture and signal-gated recovery ports.
+
+    def save_state(self) -> tuple:
+        """Snapshot the mapping table for the warm-start layer."""
+        return (tuple(self._table),)
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot (not signal-gated)."""
+        self._table = list(state[0])

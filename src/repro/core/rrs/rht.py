@@ -140,3 +140,24 @@ class RegisterHistoryTable:
         """
         if new_head > self._head:
             self._head = min(new_head, self._tail)
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot every entry (stale slots included: a tail restore after
+        a suppressed write replays whatever the storage holds) + pointers."""
+        return (
+            tuple((e.has_dest, e.ldst, e.new_pdst) for e in self._entries),
+            self._head,
+            self._tail,
+        )
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        entries, head, tail = state
+        for entry, (has_dest, ldst, new_pdst) in zip(self._entries, entries):
+            entry.has_dest = has_dest
+            entry.ldst = ldst
+            entry.new_pdst = new_pdst
+        self._head = head
+        self._tail = tail

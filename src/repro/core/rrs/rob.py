@@ -22,26 +22,39 @@ Bug-injection fidelity notes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import Callable, TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.errors import SimulatorAssertion
-from repro.core.rrs.ports import RRSObserver
+from repro.core.rrs.ports import RRSObserver, listeners
 from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- idld)
     from repro.idld.parity import ParityStore
 
 
-@dataclass
 class ROBSlot:
-    """Physical storage of one ROB entry (reused as the ring wraps)."""
+    """Physical storage of one ROB entry (reused as the ring wraps).
 
-    seq: int = -1
-    has_dest: bool = False
-    evicted_pdst: int = 0
-    new_pdst: int = -1
-    uop: object = None
+    A ``__slots__`` class: the ROB allocates ``capacity`` of these per core
+    and touches them on every rename/commit, so attribute access cost and
+    per-instance size matter.
+    """
+
+    __slots__ = ("seq", "has_dest", "evicted_pdst", "new_pdst", "uop")
+
+    def __init__(
+        self,
+        seq: int = -1,
+        has_dest: bool = False,
+        evicted_pdst: int = 0,
+        new_pdst: int = -1,
+        uop: object = None,
+    ) -> None:
+        self.seq = seq
+        self.has_dest = has_dest
+        self.evicted_pdst = evicted_pdst
+        self.new_pdst = new_pdst
+        self.uop = uop
 
 
 class ReorderBuffer:
@@ -60,6 +73,8 @@ class ReorderBuffer:
         self.capacity = capacity
         self._fabric = fabric
         self._observers = observers
+        self._on_pdst_write = listeners(observers, "rob_pdst_write")
+        self._on_pdst_read = listeners(observers, "rob_pdst_read")
         self._zero_pdst = zero_pdst
         self._parity = parity
         self._slots: List[ROBSlot] = [ROBSlot() for _ in range(capacity)]
@@ -129,8 +144,8 @@ class ReorderBuffer:
                         self._tail % self.capacity, evicted_pdst
                     )
                 if evicted_pdst != self._zero_pdst:
-                    for obs in self._observers:
-                        obs.rob_pdst_write(slot.evicted_pdst, seq)
+                    for hook in self._on_pdst_write:
+                        hook(slot.evicted_pdst, seq)
                 # A shared-zero eviction is untracked by design (V.E).
             # else: the slot keeps its previous occupant's evicted_pdst.
         self._tail += 1
@@ -172,8 +187,8 @@ class ReorderBuffer:
             # entries retire without touching it.
             if self._fabric.asserted(ArrayName.ROB, SignalKind.READ_ENABLE):
                 self._read_ptr += 1
-                for obs in self._observers:
-                    obs.rob_pdst_read(reclaim_pdst, reclaim_seq)
+                for hook in self._on_pdst_read:
+                    hook(reclaim_pdst, reclaim_seq)
         else:
             self._read_ptr += 1
         self._head += 1
@@ -243,3 +258,44 @@ class ReorderBuffer:
     def read_lag(self) -> int:
         """How far the reclaim pointer lags commit (nonzero only after bugs)."""
         return self._head - self._read_ptr
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self, uop_ref: Callable[[object], int]) -> tuple:
+        """Snapshot pointers plus the data fields of *every* slot.
+
+        Stale slots (outside the live window) matter too: a lagging reclaim
+        pointer reads them, and a suppressed field write leaves a previous
+        occupant's identifier behind. Only live slots' ``uop`` references
+        are recorded (via ``uop_ref``, the core's uop interning map); stale
+        slots' uops are never dereferenced, so they restore as None.
+        """
+        head, tail = self._head, self._tail
+        live = {pos % self.capacity for pos in range(head, tail)}
+        slots = tuple(
+            (
+                slot.seq,
+                slot.has_dest,
+                slot.evicted_pdst,
+                slot.new_pdst,
+                uop_ref(slot.uop) if index in live else -1,
+            )
+            for index, slot in enumerate(self._slots)
+        )
+        return (head, tail, self._read_ptr, slots)
+
+    def load_state(self, state: tuple, uops: Sequence[object]) -> None:
+        """Restore a :meth:`save_state` snapshot; ``uops`` resolves the
+        interned uop references recorded at capture time."""
+        head, tail, read_ptr, slots = state
+        self._head = head
+        self._tail = tail
+        self._read_ptr = read_ptr
+        for slot, (seq, has_dest, evicted_pdst, new_pdst, ref) in zip(
+            self._slots, slots
+        ):
+            slot.seq = seq
+            slot.has_dest = has_dest
+            slot.evicted_pdst = evicted_pdst
+            slot.new_pdst = new_pdst
+            slot.uop = uops[ref] if ref >= 0 else None

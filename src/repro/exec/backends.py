@@ -16,9 +16,20 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.bugs.campaign import InjectionResult, run_golden
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bugs.snapshot import SnapshotProvider
 from repro.core.config import CoreConfig
 from repro.core.cpu import RunResult
 from repro.exec.tasks import InjectionTask, execute_task
@@ -43,20 +54,47 @@ class ExecutionContext:
     :func:`repro.fuzz.engine.run_fuzz_task`), every task is dispatched to
     it; when None, tasks follow the classic injection path with per-worker
     golden caching.
+
+    ``snapshot_interval`` > 0 enables warm-start injection: each worker
+    lazily builds one :class:`~repro.bugs.snapshot.SnapshotProvider` per
+    benchmark (an instrumented golden run capturing machine snapshots every
+    that-many cycles) and injections resume from the nearest snapshot
+    instead of power-on. The provider's golden doubles as the cached
+    reference run, so the provider replaces — not adds to — the per-worker
+    golden cost. Results are bit-identical for any interval.
     """
 
     programs: Dict[str, Program]
     config: Optional[CoreConfig] = None
     runner: Optional[TaskRunner] = None
+    snapshot_interval: int = 0
     _goldens: Dict[str, RunResult] = field(default_factory=dict)
+    _snapshots: Dict[str, "SnapshotProvider"] = field(default_factory=dict)
 
     def golden(self, benchmark: str) -> RunResult:
         """The (cached) bug-free reference run for ``benchmark``."""
         if benchmark not in self._goldens:
-            self._goldens[benchmark] = run_golden(
-                self.programs[benchmark], self.config
-            )
+            if self.snapshot_interval > 0:
+                self._goldens[benchmark] = self.snapshots(benchmark).golden
+            else:
+                self._goldens[benchmark] = run_golden(
+                    self.programs[benchmark], self.config
+                )
         return self._goldens[benchmark]
+
+    def snapshots(self, benchmark: str) -> Optional["SnapshotProvider"]:
+        """The (cached) snapshot provider, or None when warm start is off."""
+        if self.snapshot_interval <= 0:
+            return None
+        if benchmark not in self._snapshots:
+            from repro.bugs.snapshot import SnapshotProvider
+
+            self._snapshots[benchmark] = SnapshotProvider(
+                self.programs[benchmark],
+                self.snapshot_interval,
+                config=self.config,
+            )
+        return self._snapshots[benchmark]
 
     def execute(self, task: object) -> object:
         """Run one task through ``runner`` or the injection default."""
@@ -64,7 +102,11 @@ class ExecutionContext:
             return self.runner(task, self)
         golden = self.golden(task.benchmark)
         return execute_task(
-            task, self.programs[task.benchmark], golden, self.config
+            task,
+            self.programs[task.benchmark],
+            golden,
+            self.config,
+            snapshots=self.snapshots(task.benchmark),
         )
 
 
@@ -99,10 +141,14 @@ def _worker_init(
     programs: Dict[str, Program],
     config: Optional[CoreConfig],
     runner: Optional[TaskRunner] = None,
+    snapshot_interval: int = 0,
 ) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = ExecutionContext(
-        programs=programs, config=config, runner=runner
+        programs=programs,
+        config=config,
+        runner=runner,
+        snapshot_interval=snapshot_interval,
     )
 
 
@@ -133,7 +179,12 @@ class ProcessPoolBackend:
         with ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_worker_init,
-            initargs=(context.programs, context.config, context.runner),
+            initargs=(
+                context.programs,
+                context.config,
+                context.runner,
+                context.snapshot_interval,
+            ),
         ) as pool:
             inflight = {}
             cursor = 0

@@ -123,6 +123,8 @@ def result_to_dict(result: InjectionResult) -> Dict[str, object]:
         "bv_cycle": result.bv_cycle,
         "counter_cycle": result.counter_cycle,
         "eot_detected": result.eot_detected,
+        "sim_wall_ns": result.sim_wall_ns,
+        "warm_start_cycles_skipped": result.warm_start_cycles_skipped,
     }
 
 
@@ -140,6 +142,10 @@ def result_from_dict(data: Dict[str, object]) -> InjectionResult:
         bv_cycle=data["bv_cycle"],
         counter_cycle=data["counter_cycle"],
         eot_detected=data["eot_detected"],
+        # Measurement metadata added after v1 checkpoints shipped; absent
+        # keys (old files) default rather than fail so resume keeps working.
+        sim_wall_ns=data.get("sim_wall_ns"),
+        warm_start_cycles_skipped=data.get("warm_start_cycles_skipped", 0),
     )
 
 

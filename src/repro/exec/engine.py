@@ -61,6 +61,7 @@ def run_engine(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     observers: Sequence[ProgressObserver] = (),
+    snapshot_interval: int = 0,
 ) -> CampaignResult:
     """Run a full injection campaign through the task engine.
 
@@ -78,6 +79,10 @@ def run_engine(
         resume: Load ``checkpoint_path`` first and skip its completed
             tasks; the file keeps growing in place.
         observers: Progress-event callables (see :mod:`repro.exec.progress`).
+        snapshot_interval: Warm-start snapshot period in cycles; 0 disables
+            warm starting. Purely a throughput knob — results (and
+            checkpoints) are bit-identical for any value, which is why it
+            is deliberately NOT part of the checkpoint manifest identity.
 
     Returns:
         The populated :class:`CampaignResult`, with results in canonical
@@ -90,7 +95,9 @@ def run_engine(
         list(programs), runs_per_model, models, seed, max_attempts
     )
     backend = backend if backend is not None else SerialBackend()
-    context = ExecutionContext(programs=programs, config=config)
+    context = ExecutionContext(
+        programs=programs, config=config, snapshot_interval=snapshot_interval
+    )
     goldens = {name: context.golden(name) for name in programs}
 
     completed: Dict[int, InjectionResult] = {}

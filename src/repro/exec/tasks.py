@@ -18,6 +18,7 @@ from repro.bugs.models import BugModel, PRIMARY_MODELS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.bugs.campaign import InjectionResult
+    from repro.bugs.snapshot import SnapshotProvider
     from repro.core.config import CoreConfig
     from repro.core.cpu import RunResult
     from repro.isa.program import Program
@@ -107,11 +108,14 @@ def execute_task(
     program: "Program",
     golden: "RunResult",
     config: Optional["CoreConfig"] = None,
+    snapshots: Optional["SnapshotProvider"] = None,
 ) -> "InjectionResult":
     """Execute one task: draw from its private stream until activation.
 
     Pure with respect to the task — no shared RNG, no global state — so
-    backends may run tasks in any order or process.
+    backends may run tasks in any order or process. ``snapshots`` is a
+    throughput-only knob: warm-started attempts produce bit-identical
+    results, so it never joins the task's identity.
     """
     from repro.bugs.campaign import run_injection
     from repro.bugs.injector import draw_attempts
@@ -125,7 +129,7 @@ def execute_task(
         config or CoreConfig(),
         task.max_attempts,
     ):
-        result = run_injection(program, golden, spec, config)
+        result = run_injection(program, golden, spec, config, snapshots=snapshots)
         if result.activated:
             break
     assert result is not None  # max_attempts >= 1 is enforced at generation

@@ -509,6 +509,7 @@ def run_fuzz(
     observers: Sequence[ProgressObserver] = (),
     save_corpus_dir: Optional[str] = None,
     bug: Optional[BugSpec] = None,
+    snapshot_interval: int = 0,
 ) -> FuzzSummary:
     """Run one coverage-guided differential fuzzing campaign.
 
@@ -529,6 +530,11 @@ def run_fuzz(
         save_corpus_dir: If set, dump the final corpus as artifacts.
         bug: Optional armed BugSpec applied to every evaluation — exercises
             the oracle/shrinker/artifact loop against a known-bad core.
+        snapshot_interval: Accepted for CLI parity with ``repro campaign``;
+            the fuzz oracle runs each generated program exactly once, so
+            there is no repeated prefix to warm-start and the value has no
+            effect on fuzzing throughput or results. It is deliberately
+            NOT part of the fuzz manifest identity.
 
     Returns:
         The :class:`FuzzSummary` (coverage map, corpus, findings).
@@ -547,7 +553,10 @@ def run_fuzz(
     )
     backend = backend if backend is not None else SerialBackend()
     context = ExecutionContext(
-        programs={}, config=campaign.config, runner=run_fuzz_task
+        programs={},
+        config=campaign.config,
+        runner=run_fuzz_task,
+        snapshot_interval=snapshot_interval,
     )
     expected_manifest = _fuzz_manifest(
         seed, batch, limits, campaign.config, bug

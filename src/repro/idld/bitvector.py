@@ -38,6 +38,7 @@ class BitVectorScheme(RRSObserver):
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._bits: List[bool] = []
+        self._free_count = 0
         self._expected_free = 0
         self.detections: List[BVDetection] = []
         self._cycle = 0
@@ -46,6 +47,9 @@ class BitVectorScheme(RRSObserver):
         self._bits = [False] * num_physical
         for pdst in initial_free:
             self._bits[pdst] = True
+        # Maintained incrementally so the quiescent leak probe, which fires
+        # every pipeline-empty cycle, does not rescan the whole vector.
+        self._free_count = sum(self._bits)
         self._expected_free = num_physical - num_logical
         self.detections = []
         self._cycle = 1
@@ -58,22 +62,27 @@ class BitVectorScheme(RRSObserver):
     def fl_read(self, pdst: int) -> None:
         # Allocation clears the free bit.
         if 0 <= pdst < len(self._bits):
+            if self._bits[pdst]:
+                self._free_count -= 1
             self._bits[pdst] = False
 
     def fl_write(self, pdst: int) -> None:
         # Reclamation with the bit already set is a duplication.
         if not 0 <= pdst < len(self._bits):
             return
-        if self._bits[pdst] and self.enabled:
-            self.detections.append(
-                BVDetection(self._cycle, "duplication", pdst=pdst)
-            )
+        if self._bits[pdst]:
+            if self.enabled:
+                self.detections.append(
+                    BVDetection(self._cycle, "duplication", pdst=pdst)
+                )
+        else:
+            self._free_count += 1
         self._bits[pdst] = True
 
     def pipeline_empty(self, cycle: int) -> None:
         if not self.enabled:
             return
-        free = sum(self._bits)
+        free = self._free_count
         if free != self._expected_free:
             self.detections.append(
                 BVDetection(cycle, "leakage", free_count=free)
@@ -86,3 +95,28 @@ class BitVectorScheme(RRSObserver):
     @property
     def first_detection_cycle(self) -> Optional[int]:
         return self.detections[0].cycle if self.detections else None
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot bits + detections for the warm-start layer."""
+        return (
+            self.enabled,
+            tuple(self._bits),
+            self._expected_free,
+            tuple(
+                (d.cycle, d.kind, d.pdst, d.free_count)
+                for d in self.detections
+            ),
+            self._cycle,
+        )
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        enabled, bits, expected_free, detections, cycle = state
+        self.enabled = enabled
+        self._bits = list(bits)
+        self._free_count = sum(self._bits)
+        self._expected_free = expected_free
+        self.detections = [BVDetection(*d) for d in detections]
+        self._cycle = cycle

@@ -215,3 +215,45 @@ class IDLDChecker(RRSObserver):
     @property
     def first_detection_cycle(self) -> Optional[int]:
         return self.violations[0].cycle if self.violations else None
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot the full checker state (XORs, recovery flag, checkpoint
+        mirrors, violations) as plain tuples for the warm-start layer."""
+        return (
+            self.enabled,
+            self.fl_xor,
+            self.rat_xor,
+            self.rob_xor,
+            self._ext_bit,
+            self._expected,
+            self._in_recovery,
+            tuple(
+                (slot, m.pos, m.rat_xor, m.rob_xor, m.valid)
+                for slot, m in self._mirrors.items()
+            ),
+            tuple(
+                (v.cycle, v.fl_xor, v.rat_xor, v.rob_xor, v.syndrome)
+                for v in self.violations
+            ),
+        )
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        (
+            self.enabled,
+            self.fl_xor,
+            self.rat_xor,
+            self.rob_xor,
+            self._ext_bit,
+            self._expected,
+            self._in_recovery,
+            mirrors,
+            violations,
+        ) = state
+        self._mirrors = {
+            slot: _CheckpointMirror(pos, rat_xor, rob_xor, valid)
+            for slot, pos, rat_xor, rob_xor, valid in mirrors
+        }
+        self.violations = [Violation(*v) for v in violations]

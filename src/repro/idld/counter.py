@@ -62,3 +62,24 @@ class CounterScheme(RRSObserver):
     @property
     def first_detection_cycle(self) -> Optional[int]:
         return self.detections[0].cycle if self.detections else None
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot the free counter + detections for the warm-start layer."""
+        return (
+            self.enabled,
+            self._free,
+            self._expected_free,
+            tuple(
+                (d.cycle, d.free_count, d.expected) for d in self.detections
+            ),
+        )
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        enabled, free, expected_free, detections = state
+        self.enabled = enabled
+        self._free = free
+        self._expected_free = expected_free
+        self.detections = [CounterDetection(*d) for d in detections]

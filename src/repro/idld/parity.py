@@ -78,3 +78,22 @@ class ParityStore:
     @property
     def first_detection_cycle(self) -> Optional[int]:
         return self.alarms[0].cycle if self.alarms else None
+
+    # -- warm-start snapshot/restore -----------------------------------------
+
+    def save_state(self) -> tuple:
+        """Snapshot shadow parity bits + alarms for the warm-start layer."""
+        return (
+            self.enabled,
+            dict(self._bits),
+            tuple(
+                (a.cycle, a.array, a.location, a.value) for a in self.alarms
+            ),
+        )
+
+    def load_state(self, state: tuple) -> None:
+        """Restore a :meth:`save_state` snapshot."""
+        enabled, bits, alarms = state
+        self.enabled = enabled
+        self._bits = dict(bits)
+        self.alarms = [ParityAlarm(*a) for a in alarms]

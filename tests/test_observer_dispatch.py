@@ -1,0 +1,65 @@
+"""Regression tests for attach-time observer dispatch lists.
+
+The arrays and the core build per-hook listener tuples once at attach time
+(:func:`repro.core.rrs.ports.listeners`): an observer that keeps the
+base-class no-op for a hook must cost zero calls on that event, while a
+partial override must see exactly the event stream a full recorder sees.
+"""
+
+from repro.core.cpu import OoOCore
+from repro.core.rrs.ports import RRSObserver, listeners, overrides_hook
+from repro.workloads import WORKLOADS
+
+
+class FullRecorder(RRSObserver):
+    """Overrides the free-list port hooks, recording the event stream."""
+
+    def __init__(self):
+        self.events = []
+
+    def fl_read(self, pdst):
+        self.events.append(("fl_read", pdst))
+
+    def fl_write(self, pdst):
+        self.events.append(("fl_write", pdst))
+
+
+class FlReadOnly(RRSObserver):
+    """Overrides only fl_read."""
+
+    def __init__(self):
+        self.events = []
+
+    def fl_read(self, pdst):
+        self.events.append(("fl_read", pdst))
+
+
+def test_partial_override_sees_identical_event_sequence():
+    prog = WORKLOADS["qsort"](scale=0.3)
+    full, partial = FullRecorder(), FlReadOnly()
+    core = OoOCore(prog, observers=[full, partial])
+    result = core.run()
+    assert result.halted
+    assert partial.events, "run produced no fl_read traffic"
+    assert partial.events == [e for e in full.events if e[0] == "fl_read"]
+
+
+def test_no_override_observer_is_absent_from_dispatch():
+    plain = RRSObserver()
+    reader = FlReadOnly()
+    assert not overrides_hook(plain, "fl_read")
+    assert overrides_hook(reader, "fl_read")
+    # A base-class no-op never lands in a dispatch list ...
+    assert listeners([plain], "fl_read") == ()
+    hooks = listeners([plain, reader], "fl_read")
+    # ... and a partial override lands only in the hooks it overrides.
+    assert len(hooks) == 1
+    assert hooks[0].__self__ is reader
+    assert listeners([plain, reader], "fl_write") == ()
+    assert listeners([plain, reader], "cycle_end") == ()
+
+
+def test_dispatch_preserves_attach_order():
+    a, b = FullRecorder(), FlReadOnly()
+    hooks = listeners([a, b], "fl_read")
+    assert [h.__self__ for h in hooks] == [a, b]
