@@ -85,6 +85,20 @@ def to_json(campaign: "CampaignResult") -> str:
             name: {"cycles": golden.cycles, "committed": golden.committed}
             for name, golden in campaign.goldens.items()
         },
+        # Tasks the execution layer gave up on; absent from "injections"
+        # and from every aggregate above, surfaced so consumers can judge
+        # whether the sample is still sound.
+        "quarantined": [
+            {
+                "key": record.key,
+                "index": record.index,
+                "benchmark": record.benchmark,
+                "kind": record.failure.kind,
+                "attempts": record.failure.attempts,
+                "message": record.failure.message,
+            }
+            for record in campaign.failures
+        ],
     }
     return json.dumps(payload, indent=2)
 
@@ -117,15 +131,19 @@ def campaign_from_checkpoint(path: str) -> "CampaignResult":
     Results come back in canonical task order (the order an uninterrupted
     serial campaign would have produced), and golden-run summaries are
     restored from the manifest, so every aggregation and export works as
-    if the campaign had just run.
+    if the campaign had just run. Quarantined-task ``failure`` records are
+    restored onto ``CampaignResult.failures``.
     """
     from repro.bugs.campaign import CampaignResult
-    from repro.exec.checkpoint import load_checkpoint
+    from repro.exec.checkpoint import load_checkpoint_full
 
-    manifest, done = load_checkpoint(path)
+    manifest, done, quarantined = load_checkpoint_full(path)
     campaign = CampaignResult()
     for index, result in sorted(done.values(), key=lambda pair: pair[0]):
         campaign.results.append(result)
+    campaign.failures = sorted(
+        quarantined.values(), key=lambda record: record.index
+    )
     campaign.goldens = dict(manifest.goldens)
     return campaign
 

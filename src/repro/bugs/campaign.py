@@ -36,6 +36,7 @@ from repro.isa.program import Program
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.bugs.snapshot import SnapshotProvider
+    from repro.exec.resilience import TaskFailureRecord
 
 
 @dataclass
@@ -116,6 +117,7 @@ def run_injection(
     spec: BugSpec,
     config: Optional[CoreConfig] = None,
     snapshots: Optional["SnapshotProvider"] = None,
+    deadline: Optional[float] = None,
 ) -> InjectionResult:
     """Execute one buggy run with all detectors attached and classify it.
 
@@ -125,6 +127,11 @@ def run_injection(
     A suppression armed for cycle c can fire during cycle c itself, so the
     restore point must satisfy ``snapshot.cycle <= inject_cycle - 1``.
     The result is bit-identical to a cold run (see tests/test_snapshot.py).
+
+    ``deadline`` (absolute ``time.monotonic()``) is the harness wall-clock
+    budget; on expiry :class:`~repro.core.errors.DeadlineExceeded`
+    propagates to the execution layer — it is *not* a simulated outcome
+    and is never classified as one.
     """
     started = time.perf_counter_ns()
     fabric = SignalFabric()
@@ -144,7 +151,7 @@ def run_injection(
     budget = timeout_budget(golden)
     error: Optional[Exception] = None
     try:
-        result = core.run(max_cycles=budget)
+        result = core.run(max_cycles=budget, deadline=deadline)
     except SimulationError as exc:
         error = exc
         result = core.result()
@@ -176,10 +183,23 @@ def run_injection(
 
 @dataclass
 class CampaignResult:
-    """All injection results of a campaign, with figure-level aggregations."""
+    """All injection results of a campaign, with figure-level aggregations.
+
+    ``failures`` holds the quarantined tasks — injections the execution
+    layer gave up on (exception / timeout / worker-crash) after exhausting
+    their retry budget. They are *excluded* from ``results`` and therefore
+    from every figure aggregation; reports and exports surface them so a
+    reproduction with too many quarantines is visibly suspect.
+    """
 
     results: List[InjectionResult] = field(default_factory=list)
     goldens: Dict[str, RunResult] = field(default_factory=dict)
+    failures: List["TaskFailureRecord"] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> int:
+        """How many tasks were quarantined instead of completed."""
+        return len(self.failures)
 
     # -- generic filters -------------------------------------------------------
 

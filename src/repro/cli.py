@@ -36,6 +36,75 @@ from repro.workloads import WORKLOADS
 KNOWN_FIGURES = ("3", "4", "5", "8", "9", "10", "latency", "table2")
 
 
+def add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance flags shared by ``campaign`` and ``fuzz``."""
+    group = parser.add_argument_group("fault tolerance")
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="task_timeout",
+        help="per-task wall-clock budget; an overrunning simulation is "
+        "retried then quarantined (a hung worker is killed by the parent "
+        "watchdog after budget + grace) [no limit]",
+    )
+    group.add_argument(
+        "--max-task-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        dest="max_task_retries",
+        help="extra attempts before a failing task is quarantined [2]",
+    )
+    group.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort the whole run on the first quarantine instead of "
+        "recording it and continuing",
+    )
+    group.add_argument(
+        "--no-fallback-serial",
+        action="store_false",
+        dest="fallback_serial",
+        help="fail hard when the worker pool keeps breaking instead of "
+        "degrading to in-process serial execution",
+    )
+    group.add_argument(
+        "--checkpoint-fsync",
+        action="store_true",
+        dest="checkpoint_fsync",
+        help="fsync every checkpoint record (survives power loss, not "
+        "just process kills) at an I/O cost",
+    )
+
+
+def policy_from_args(args: argparse.Namespace):
+    """Build the FaultPolicy the CLI runs under (resilience is on by
+    default here; the library default ``policy=None`` keeps the legacy
+    fail-fast behavior). Raises ValueError on bad knob values."""
+    from repro.exec.resilience import FaultPolicy
+
+    return FaultPolicy(
+        task_timeout_s=args.task_timeout,
+        max_task_retries=args.max_task_retries,
+        strict=args.strict,
+        fallback_serial=args.fallback_serial,
+    )
+
+
+def print_quarantine(failures, stream=None) -> None:
+    """One line per quarantined task, on stderr by default."""
+    stream = stream if stream is not None else sys.stderr
+    for record in failures:
+        print(
+            f"quarantined: task {record.key} [{record.failure.kind}] "
+            f"after {record.failure.attempts} attempt(s): "
+            f"{record.failure.message}",
+            file=stream,
+        )
+
+
 def _parse_args(argv: List[str]) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="idld-campaign",
@@ -128,6 +197,7 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         metavar="PATH",
         help="write results + aggregates to a JSON file",
     )
+    add_fault_args(parser)
     return parser.parse_args(argv)
 
 
@@ -201,12 +271,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (CheckpointError, OSError) as exc:
             print(f"cannot load checkpoint: {exc}", file=sys.stderr)
             return 2
+        quarantined = (
+            f", {campaign.quarantined} quarantined"
+            if campaign.quarantined
+            else ""
+        )
         print(
             f"checkpoint: {len(campaign.results)} injections over "
             f"{len(campaign.benchmarks)} benchmarks "
-            f"({campaign.never_activated} never activated)\n"
+            f"({campaign.never_activated} never activated{quarantined})\n"
         )
         _report(campaign, campaign_figures, args)
+        if campaign.quarantined:
+            print_quarantine(campaign.failures)
         return 0
 
     if not campaign_figures and not exporting:
@@ -228,9 +305,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.exec.checkpoint import CheckpointError
     from repro.exec.engine import run_engine
     from repro.exec.progress import ProgressPrinter
+    from repro.exec.resilience import FaultToleranceError
 
+    try:
+        policy = policy_from_args(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     backend = (
-        ProcessPoolBackend(args.jobs) if args.jobs > 1 else SerialBackend()
+        ProcessPoolBackend(args.jobs, policy=policy)
+        if args.jobs > 1
+        else SerialBackend(policy=policy)
     )
     show_progress = (
         args.progress if args.progress is not None else sys.stderr.isatty()
@@ -248,17 +333,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             resume=args.resume is not None,
             observers=observers,
             snapshot_interval=args.snapshot_interval,
+            checkpoint_fsync=args.checkpoint_fsync,
         )
     except (CheckpointError, OSError) as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2
+    except FaultToleranceError as exc:
+        print(f"fault tolerance: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.time() - started
+    quarantined = (
+        f", {campaign.quarantined} quarantined" if campaign.quarantined else ""
+    )
     print(
         f"campaign: {len(campaign.results)} injections over "
         f"{len(programs)} benchmarks in {elapsed:.1f}s "
-        f"(jobs={args.jobs}, {campaign.never_activated} never activated)\n"
+        f"(jobs={args.jobs}, {campaign.never_activated} never activated"
+        f"{quarantined})\n"
     )
     _report(campaign, campaign_figures, args)
+    if campaign.quarantined:
+        print_quarantine(campaign.failures)
+        return 1
     return 0
 
 

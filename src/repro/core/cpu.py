@@ -21,12 +21,18 @@ detectors consume (:mod:`repro.core.rrs.ports`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.branch import BimodalPredictor, GSharePredictor
 from repro.core.config import CoreConfig
-from repro.core.errors import DeadlockError, MemoryFault, SimulatorAssertion
+from repro.core.errors import (
+    DeadlineExceeded,
+    DeadlockError,
+    MemoryFault,
+    SimulatorAssertion,
+)
 from repro.core.lsq import DataMemory, StoreQueue
 from repro.core.regfile import PhysicalRegisterFile
 from repro.core.rrs.checkpoint import CheckpointTable
@@ -215,14 +221,27 @@ class OoOCore:
 
     # -- main loop ----------------------------------------------------------------
 
-    def run(self, max_cycles: int = 2_000_000) -> RunResult:
+    def run(
+        self,
+        max_cycles: int = 2_000_000,
+        deadline: Optional[float] = None,
+    ) -> RunResult:
         """Simulate until HALT commits or ``max_cycles`` elapse.
+
+        Args:
+            max_cycles: Simulated-cycle budget.
+            deadline: Optional absolute ``time.monotonic()`` instant the
+                harness allows this run to occupy; checked cooperatively
+                every 1024 cycles so the per-cycle cost is negligible.
 
         Raises:
             SimulatorAssertion: The *Assert* outcome class.
             MemoryFault: The *Crash* outcome class.
             DeadlockError: Folded into the *Timeout* class by the campaign.
+            DeadlineExceeded: The harness wall-clock budget expired (a
+                resource-policy event, never a simulated-bug outcome).
         """
+        started = time.monotonic()
         while not self.halted and self.cycle < max_cycles:
             self.step()
             if (
@@ -230,6 +249,10 @@ class OoOCore:
                 > self.config.deadlock_cycles
             ):
                 raise DeadlockError(self.cycle)
+            if deadline is not None and not self.cycle & 1023:
+                now = time.monotonic()
+                if now > deadline:
+                    raise DeadlineExceeded(self.cycle, now - started)
         return self.result()
 
     def result(self) -> RunResult:

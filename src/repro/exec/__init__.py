@@ -7,6 +7,12 @@ change results. Pluggable backends (:class:`~repro.exec.backends.SerialBackend`,
 :class:`~repro.exec.backends.ProcessPoolBackend`) run the tasks; the engine
 aggregates results in canonical task order, checkpoints them incrementally
 to an append-only JSONL file, and emits progress events.
+
+Fault tolerance lives in :mod:`repro.exec.resilience`: construct a backend
+with a :class:`~repro.exec.resilience.FaultPolicy` and tasks get wall-clock
+deadlines, bounded retries, structured quarantine
+(:class:`~repro.exec.resilience.TaskFailure`), worker-crash recovery with
+pool respawn, and graceful degradation to serial execution.
 """
 
 from repro.exec.backends import Backend, ProcessPoolBackend, SerialBackend
@@ -14,9 +20,16 @@ from repro.exec.checkpoint import (
     CheckpointError,
     CheckpointWriter,
     load_checkpoint,
+    load_checkpoint_full,
 )
 from repro.exec.engine import run_engine
 from repro.exec.progress import ProgressEvent, ProgressPrinter
+from repro.exec.resilience import (
+    FaultPolicy,
+    FaultToleranceError,
+    TaskFailure,
+    TaskFailureRecord,
+)
 from repro.exec.tasks import (
     InjectionTask,
     derive_seed,
@@ -28,14 +41,19 @@ __all__ = [
     "Backend",
     "CheckpointError",
     "CheckpointWriter",
+    "FaultPolicy",
+    "FaultToleranceError",
     "InjectionTask",
     "ProcessPoolBackend",
     "ProgressEvent",
     "ProgressPrinter",
     "SerialBackend",
+    "TaskFailure",
+    "TaskFailureRecord",
     "derive_seed",
     "execute_task",
     "generate_tasks",
     "load_checkpoint",
+    "load_checkpoint_full",
     "run_engine",
 ]

@@ -1,0 +1,225 @@
+"""Fault injection for the fault injector: a chaos harness for the backends.
+
+The paper's campaigns inject bugs into the simulated core; this module
+injects faults into the *execution layer* that runs those campaigns, so the
+recovery machinery (retry, quarantine, watchdog, pool respawn, serial
+degradation) can be exercised against real misbehavior instead of mocks.
+
+:func:`chaos_runner` is a drop-in :data:`~repro.exec.backends.TaskRunner`
+that executes the normal injection path, except for tasks whose keys appear
+in the ``REPRO_CHAOS_*`` environment variables, which it sabotages instead.
+Environment variables — not closures — carry the sabotage plan because pool
+workers are separate processes: they inherit the parent's environment but
+not its objects, and the runner itself is shipped to workers by module
+reference.
+
+Behaviors (each variable holds comma-separated task keys):
+
+- ``REPRO_CHAOS_EXIT``: ``os._exit`` immediately — an unconditional hard
+  worker crash (kills the current process, whoever it is).
+- ``REPRO_CHAOS_EXIT_IN_WORKER``: ``os._exit`` only inside a pool worker
+  process; in the parent the task runs normally. This makes degradation to
+  serial testable — the pool keeps dying, the in-process fallback finishes.
+- ``REPRO_CHAOS_RAISE``: raise :class:`ChaosError` (a deterministic
+  "poison" task that fails every attempt).
+- ``REPRO_CHAOS_HANG``: sleep for ``REPRO_CHAOS_HANG_S`` seconds (default
+  3600) — a non-cooperative hang only the parent watchdog can clear.
+
+``python -m repro.exec.chaos`` runs the end-to-end smoke used by CI:
+a small parallel campaign with one worker-killer and one hung task must run
+to completion, quarantine exactly those two as structured failures in the
+checkpoint, keep every surviving result bit-identical to a clean serial
+run, and then ``--resume`` must execute zero new tasks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, Iterable, Optional, Set
+
+from repro.exec.backends import ExecutionContext
+from repro.exec.tasks import execute_task
+
+ENV_EXIT = "REPRO_CHAOS_EXIT"
+ENV_EXIT_IN_WORKER = "REPRO_CHAOS_EXIT_IN_WORKER"
+ENV_RAISE = "REPRO_CHAOS_RAISE"
+ENV_HANG = "REPRO_CHAOS_HANG"
+ENV_HANG_S = "REPRO_CHAOS_HANG_S"
+
+#: All plan-carrying variables, for scrubbing between scenarios.
+ALL_ENV_VARS = (ENV_EXIT, ENV_EXIT_IN_WORKER, ENV_RAISE, ENV_HANG, ENV_HANG_S)
+
+#: Exit status used for deliberate worker kills (recognizable in CI logs).
+EXIT_STATUS = 17
+
+
+class ChaosError(RuntimeError):
+    """The deterministic failure raised for ``REPRO_CHAOS_RAISE`` tasks."""
+
+
+def chaos_env(
+    exit_keys: Iterable[str] = (),
+    exit_in_worker_keys: Iterable[str] = (),
+    raise_keys: Iterable[str] = (),
+    hang_keys: Iterable[str] = (),
+    hang_s: Optional[float] = None,
+) -> Dict[str, str]:
+    """Build the environment-variable plan for a chaos scenario.
+
+    Returns only the variables that are set; callers (tests, the smoke
+    harness) should clear :data:`ALL_ENV_VARS` first so plans don't leak
+    between scenarios.
+    """
+    env: Dict[str, str] = {}
+    if exit_keys:
+        env[ENV_EXIT] = ",".join(exit_keys)
+    if exit_in_worker_keys:
+        env[ENV_EXIT_IN_WORKER] = ",".join(exit_in_worker_keys)
+    if raise_keys:
+        env[ENV_RAISE] = ",".join(raise_keys)
+    if hang_keys:
+        env[ENV_HANG] = ",".join(hang_keys)
+    if hang_s is not None:
+        env[ENV_HANG_S] = repr(hang_s)
+    return env
+
+
+def _keys(name: str) -> Set[str]:
+    raw = os.environ.get(name, "")
+    return {key for key in raw.split(",") if key}
+
+
+def _in_pool_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def chaos_runner(task: object, context: ExecutionContext) -> object:
+    """The sabotage-aware task runner (see module docstring)."""
+    key = task.key
+    if key in _keys(ENV_EXIT):
+        os._exit(EXIT_STATUS)
+    if key in _keys(ENV_EXIT_IN_WORKER) and _in_pool_worker():
+        os._exit(EXIT_STATUS)
+    if key in _keys(ENV_RAISE):
+        raise ChaosError(f"chaos: deterministic failure for task {key}")
+    if key in _keys(ENV_HANG):
+        time.sleep(float(os.environ.get(ENV_HANG_S, "3600")))
+    golden = context.golden(task.benchmark)
+    return execute_task(
+        task,
+        context.programs[task.benchmark],
+        golden,
+        context.config,
+        snapshots=context.snapshots(task.benchmark),
+        deadline=context.deadline,
+    )
+
+
+# -- the CI smoke harness ------------------------------------------------------
+
+
+def _scrub_env() -> None:
+    for name in ALL_ENV_VARS:
+        os.environ.pop(name, None)
+
+
+def _smoke(jobs: int = 2) -> int:
+    import tempfile
+
+    from repro.bugs.models import PRIMARY_MODELS
+    from repro.exec.backends import ProcessPoolBackend, SerialBackend
+    from repro.exec.checkpoint import load_checkpoint_full, result_to_dict
+    from repro.exec.engine import run_engine
+    from repro.exec.resilience import FaultPolicy
+    from repro.exec.tasks import generate_tasks
+    from repro.workloads import WORKLOADS
+
+    programs = {"bitcount": WORKLOADS["bitcount"](scale=0.5)}
+    runs, seed = 4, 1
+    tasks = generate_tasks(
+        list(programs), runs, list(PRIMARY_MODELS), seed, 6
+    )
+    kill_key, hang_key = tasks[1].key, tasks[5].key
+    print(f"chaos-smoke: {len(tasks)} tasks, jobs={jobs}")
+    print(f"  kill: {kill_key}\n  hang: {hang_key}")
+
+    def comparable(result) -> Dict[str, object]:
+        # Everything but sim_wall_ns, the one field that is a wall-clock
+        # *measurement* rather than a simulation outcome.
+        record = result_to_dict(result)
+        record.pop("sim_wall_ns")
+        return record
+
+    # Clean serial reference: what every surviving task must reproduce.
+    _scrub_env()
+    baseline = run_engine(programs, runs, seed=seed, backend=SerialBackend())
+    baseline_by_key = {
+        task.key: comparable(result)
+        for task, result in zip(tasks, baseline.results)
+    }
+
+    # Hang timeout = task_timeout_s + grace; the hung task burns two of
+    # those (one per attempt), so keep them short but far above the ~tens
+    # of milliseconds a real bitcount task needs.
+    policy = FaultPolicy(
+        task_timeout_s=10.0, watchdog_grace_s=2.0, max_task_retries=1
+    )
+    os.environ.update(
+        chaos_env(exit_keys=[kill_key], hang_keys=[hang_key], hang_s=600.0)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "chaos.jsonl")
+        campaign = run_engine(
+            programs,
+            runs,
+            seed=seed,
+            backend=ProcessPoolBackend(jobs, policy=policy),
+            checkpoint_path=path,
+            task_runner=chaos_runner,
+        )
+
+        assert len(campaign.results) == len(tasks) - 2, (
+            f"expected {len(tasks) - 2} survivors, got {len(campaign.results)}"
+        )
+        kinds = {rec.key: rec.failure.kind for rec in campaign.failures}
+        assert kinds == {kill_key: "worker-crash", hang_key: "timeout"}, kinds
+        for rec in campaign.failures:
+            assert rec.failure.attempts == policy.max_attempts_per_task
+
+        _, done, quarantined = load_checkpoint_full(path)
+        assert set(quarantined) == {kill_key, hang_key}
+        assert len(done) == len(tasks) - 2
+        for key, (_, result) in done.items():
+            assert comparable(result) == baseline_by_key[key], (
+                f"survivor {key} diverged from the clean serial run"
+            )
+        print("chaos-smoke: survivors bit-identical to clean serial run")
+
+        # Resume must execute nothing: all work is completed or quarantined.
+        events = []
+        resumed = run_engine(
+            programs,
+            runs,
+            seed=seed,
+            backend=ProcessPoolBackend(jobs, policy=policy),
+            checkpoint_path=path,
+            resume=True,
+            observers=[events.append],
+            task_runner=chaos_runner,
+        )
+        executed = sum(1 for event in events if event.benchmark is not None)
+        assert executed == 0, f"resume executed {executed} tasks"
+        assert len(resumed.results) == len(tasks) - 2
+        assert len(resumed.failures) == 2
+    _scrub_env()
+    print(
+        f"chaos-smoke OK: {len(campaign.results)} completed, "
+        f"{campaign.quarantined} quarantined, resume executed 0 tasks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_smoke())

@@ -2,9 +2,12 @@
 
 File layout: line 1 is a ``manifest`` record pinning the campaign identity
 (seed, models, benchmarks, runs, golden-run summaries); every later line is
-one completed task ``result`` record, appended in completion order. Records
+one completed task ``result`` record — or one ``failure`` record for a task
+the execution layer quarantined (kind ∈ {exception, timeout, worker-crash},
+attempts, truncated traceback) — appended in completion order. Records
 carry the canonical task index, so a campaign rebuilt from a checkpoint is
-re-sorted into task order and is identical to an uninterrupted run.
+re-sorted into task order and is identical to an uninterrupted run; a
+resume skips quarantined tasks instead of re-crashing on them.
 
 A process killed mid-append may leave a truncated final line; the loader
 tolerates (and drops) exactly that — a malformed line anywhere else is a
@@ -23,6 +26,7 @@ from repro.bugs.campaign import InjectionResult
 from repro.bugs.models import BugModel, BugSpec
 from repro.core.cpu import RunResult
 from repro.core.rrs.signals import ArrayName, SignalKind
+from repro.exec.resilience import TaskFailure, TaskFailureRecord
 from repro.exec.tasks import InjectionTask
 
 #: Checkpoint format version; readers reject anything else.
@@ -171,15 +175,22 @@ class CheckpointWriter:
 
     In fresh mode the manifest is written (and flushed) first; in resume
     mode the file is opened for append and the manifest must already be
-    present. Every record is flushed + fsynced so a kill loses at most the
-    line being written.
+    present. Every record is flushed, so a *process* kill loses at most
+    the line being written; with ``fsync=True`` every record is also
+    ``os.fsync``'d, so the checkpoint additionally survives hard machine
+    kills (power loss, kernel panic) at a per-record I/O cost.
     """
 
     def __init__(
-        self, path: str, manifest: Manifest, resume: bool = False
+        self,
+        path: str,
+        manifest: Manifest,
+        resume: bool = False,
+        fsync: bool = False,
     ) -> None:
         self.path = path
         self.manifest = manifest
+        self.fsync = fsync
         self._handle: Optional[IO[str]] = None
         if resume:
             _truncate_torn_tail(path)
@@ -200,11 +211,24 @@ class CheckpointWriter:
             }
         )
 
+    def write_failure(self, task: InjectionTask, failure: TaskFailure) -> None:
+        """Record one quarantined task so a resume skips it."""
+        self._append(
+            {
+                "type": "failure",
+                "index": task.index,
+                "key": task.key,
+                "benchmark": getattr(task, "benchmark", None),
+                "failure": failure.to_record(),
+            }
+        )
+
     def _append(self, record: Dict[str, object]) -> None:
         assert self._handle is not None
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -223,10 +247,29 @@ def load_checkpoint(
 ) -> Tuple[Manifest, Dict[str, Tuple[int, InjectionResult]]]:
     """Load a checkpoint: the manifest plus ``task key -> (index, result)``.
 
+    Quarantined-task ``failure`` records are tolerated but dropped; use
+    :func:`load_checkpoint_full` to get them too.
+    """
+    manifest, done, _ = load_checkpoint_full(path)
+    return manifest, done
+
+
+def load_checkpoint_full(
+    path: str,
+) -> Tuple[
+    Manifest,
+    Dict[str, Tuple[int, InjectionResult]],
+    Dict[str, TaskFailureRecord],
+]:
+    """Load a checkpoint: manifest, completed results, quarantined tasks.
+
+    Returns ``(manifest, key -> (index, result), key -> failure record)``.
     Tolerates a truncated final line (the signature of a killed run);
     raises :class:`CheckpointError` for any other malformation. When the
-    same key appears twice the later record wins — harmless, since records
-    for a key are byte-identical by construction.
+    same key appears twice the later record wins — harmless for results
+    (records for a key are byte-identical by construction) and correct for
+    failures (a later *result* for a previously-quarantined key means a
+    retry eventually succeeded, so the failure is superseded).
     """
     with open(path) as handle:
         lines = handle.read().splitlines()
@@ -246,14 +289,26 @@ def load_checkpoint(
         raise CheckpointError(f"{path}: no complete records")
     manifest = Manifest.from_record(records[0])
     done: Dict[str, Tuple[int, InjectionResult]] = {}
+    failures: Dict[str, TaskFailureRecord] = {}
     for record in records[1:]:
-        if record.get("type") != "result":
-            raise CheckpointError(f"unexpected record type {record.get('type')!r}")
-        done[record["key"]] = (
-            record["index"],
-            result_from_dict(record["result"]),
-        )
-    return manifest, done
+        kind = record.get("type")
+        if kind == "result":
+            key = record["key"]
+            done[key] = (record["index"], result_from_dict(record["result"]))
+            failures.pop(key, None)
+        elif kind == "failure":
+            key = record["key"]
+            if key in done:
+                continue  # a completed result outranks any failure record
+            failures[key] = TaskFailureRecord(
+                key=key,
+                index=record["index"],
+                benchmark=record.get("benchmark"),
+                failure=TaskFailure.from_record(record["failure"]),
+            )
+        else:
+            raise CheckpointError(f"unexpected record type {kind!r}")
+    return manifest, done, failures
 
 
 def manifest_for(

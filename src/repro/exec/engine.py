@@ -7,6 +7,13 @@ chosen backend, checkpoints each completion, emits progress events, and
 finally assembles a :class:`~repro.bugs.campaign.CampaignResult` in task
 order — making the campaign independent of backend, worker count, and
 interruptions.
+
+Fault tolerance: a policy-enabled backend yields a structured
+:class:`~repro.exec.resilience.TaskFailure` for any task it had to
+quarantine (exception / timeout / worker-crash after retries). The engine
+records those as ``failure`` checkpoint records — so a later ``--resume``
+skips them instead of re-crashing — and carries them on
+``CampaignResult.failures``, excluded from the figure aggregations.
 """
 
 from __future__ import annotations
@@ -17,14 +24,20 @@ from typing import Dict, Iterable, Optional, Sequence
 from repro.bugs.campaign import CampaignResult, InjectionResult
 from repro.bugs.models import BugModel, PRIMARY_MODELS
 from repro.core.config import CoreConfig
-from repro.exec.backends import Backend, ExecutionContext, SerialBackend
+from repro.exec.backends import (
+    Backend,
+    ExecutionContext,
+    SerialBackend,
+    TaskRunner,
+)
 from repro.exec.checkpoint import (
     CheckpointError,
     CheckpointWriter,
-    load_checkpoint,
+    load_checkpoint_full,
     manifest_for,
 )
 from repro.exec.progress import ProgressEvent, ProgressObserver
+from repro.exec.resilience import TaskFailure, TaskFailureRecord
 from repro.exec.tasks import generate_tasks
 from repro.isa.program import Program
 
@@ -62,6 +75,8 @@ def run_engine(
     resume: bool = False,
     observers: Sequence[ProgressObserver] = (),
     snapshot_interval: int = 0,
+    checkpoint_fsync: bool = False,
+    task_runner: Optional[TaskRunner] = None,
 ) -> CampaignResult:
     """Run a full injection campaign through the task engine.
 
@@ -75,18 +90,28 @@ def run_engine(
         max_attempts: Redraws allowed until an injection activates; must be
             >= 1.
         backend: Execution backend (:class:`SerialBackend` when None).
+            Construct it with a :class:`~repro.exec.resilience.FaultPolicy`
+            for fault-tolerant execution (retry + quarantine, watchdog,
+            pool respawn, serial degradation).
         checkpoint_path: Append each completed result to this JSONL file.
         resume: Load ``checkpoint_path`` first and skip its completed
-            tasks; the file keeps growing in place.
+            tasks *and* its quarantined tasks; the file keeps growing in
+            place.
         observers: Progress-event callables (see :mod:`repro.exec.progress`).
         snapshot_interval: Warm-start snapshot period in cycles; 0 disables
             warm starting. Purely a throughput knob — results (and
             checkpoints) are bit-identical for any value, which is why it
             is deliberately NOT part of the checkpoint manifest identity.
+        checkpoint_fsync: ``os.fsync`` every checkpoint record (survives
+            hard machine kills, not just process kills) at an I/O cost.
+        task_runner: Override the per-task execution function (see
+            :data:`~repro.exec.backends.TaskRunner`); used by the chaos
+            harness to wrap the injection path with fault injection.
 
     Returns:
-        The populated :class:`CampaignResult`, with results in canonical
-        task order regardless of completion order.
+        The populated :class:`CampaignResult`, with completed results in
+        canonical task order regardless of completion order and any
+        quarantined tasks on ``CampaignResult.failures``.
     """
     models = list(models)
     if resume and checkpoint_path is None:
@@ -96,14 +121,18 @@ def run_engine(
     )
     backend = backend if backend is not None else SerialBackend()
     context = ExecutionContext(
-        programs=programs, config=config, snapshot_interval=snapshot_interval
+        programs=programs,
+        config=config,
+        runner=task_runner,
+        snapshot_interval=snapshot_interval,
     )
     goldens = {name: context.golden(name) for name in programs}
 
     completed: Dict[int, InjectionResult] = {}
+    failed: Dict[int, TaskFailureRecord] = {}
     skipped = 0
     if resume:
-        manifest, done = load_checkpoint(checkpoint_path)
+        manifest, done, quarantined = load_checkpoint_full(checkpoint_path)
         _verify_manifest(
             manifest, seed, runs_per_model, models, list(programs),
             checkpoint_path,
@@ -112,14 +141,19 @@ def run_engine(
         for key, (index, result) in done.items():
             if key in by_key:
                 completed[by_key[key].index] = result
-        skipped = len(completed)
+        for key, record in quarantined.items():
+            if key in by_key:
+                failed[by_key[key].index] = record
+        skipped = len(completed) + len(failed)
 
     writer: Optional[CheckpointWriter] = None
     if checkpoint_path is not None:
         manifest = manifest_for(
             seed, runs_per_model, models, list(programs), max_attempts, goldens
         )
-        writer = CheckpointWriter(checkpoint_path, manifest, resume=resume)
+        writer = CheckpointWriter(
+            checkpoint_path, manifest, resume=resume, fsync=checkpoint_fsync
+        )
 
     total = len(tasks)
     bench_totals = {name: 0 for name in programs}
@@ -127,6 +161,8 @@ def run_engine(
         bench_totals[task.benchmark] += 1
     bench_done = {name: 0 for name in programs}
     for index in completed:
+        bench_done[tasks[index].benchmark] += 1
+    for index in failed:
         bench_done[tasks[index].benchmark] += 1
 
     started = time.monotonic()
@@ -149,6 +185,7 @@ def run_engine(
                 name: (bench_done[name], bench_totals[name])
                 for name in bench_totals
             },
+            failed=len(failed),
         )
         for observer in observers:
             observer(event)
@@ -156,11 +193,25 @@ def run_engine(
     try:
         if skipped and observers:
             emit(None)
-        pending = [task for task in tasks if task.index not in completed]
-        for task, result in backend.run(pending, context):
-            completed[task.index] = result
-            if writer is not None:
-                writer.write_result(task, result)
+        pending = [
+            task
+            for task in tasks
+            if task.index not in completed and task.index not in failed
+        ]
+        for task, outcome in backend.run(pending, context):
+            if isinstance(outcome, TaskFailure):
+                failed[task.index] = TaskFailureRecord(
+                    key=task.key,
+                    index=task.index,
+                    benchmark=task.benchmark,
+                    failure=outcome,
+                )
+                if writer is not None:
+                    writer.write_failure(task, outcome)
+            else:
+                completed[task.index] = outcome
+                if writer is not None:
+                    writer.write_result(task, outcome)
             executed += 1
             bench_done[task.benchmark] += 1
             emit(task.benchmark)
@@ -169,5 +220,8 @@ def run_engine(
             writer.close()
 
     campaign = CampaignResult(goldens=dict(goldens))
-    campaign.results = [completed[task.index] for task in tasks]
+    campaign.results = [
+        completed[task.index] for task in tasks if task.index in completed
+    ]
+    campaign.failures = [failed[index] for index in sorted(failed)]
     return campaign

@@ -33,6 +33,9 @@ class ProgressEvent:
         benchmark: Benchmark of the task that triggered this event
             (None for the initial resume event).
         per_benchmark: benchmark -> (done, total) task counts.
+        failed: How many of ``done`` were quarantined (structured task
+            failures) rather than completed — including ones restored
+            from a resume checkpoint.
     """
 
     done: int
@@ -43,6 +46,7 @@ class ProgressEvent:
     eta_s: Optional[float]
     benchmark: Optional[str]
     per_benchmark: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    failed: int = 0
 
     @property
     def remaining(self) -> int:
@@ -74,8 +78,9 @@ class ProgressPrinter:
             return
         eta = f", eta {event.eta_s:.0f}s" if event.eta_s is not None else ""
         skipped = f" ({event.skipped} resumed)" if event.skipped else ""
+        failed = f" [{event.failed} failed]" if event.failed else ""
         line = (
-            f"[{event.done}/{event.total}]{skipped} "
+            f"[{event.done}/{event.total}]{skipped}{failed} "
             f"{event.throughput:.1f} inj/s{eta}"
         )
         if event.benchmark is not None:

@@ -109,13 +109,17 @@ def execute_task(
     golden: "RunResult",
     config: Optional["CoreConfig"] = None,
     snapshots: Optional["SnapshotProvider"] = None,
+    deadline: Optional[float] = None,
 ) -> "InjectionResult":
     """Execute one task: draw from its private stream until activation.
 
     Pure with respect to the task — no shared RNG, no global state — so
     backends may run tasks in any order or process. ``snapshots`` is a
     throughput-only knob: warm-started attempts produce bit-identical
-    results, so it never joins the task's identity.
+    results, so it never joins the task's identity. ``deadline`` (absolute
+    ``time.monotonic()``) is the whole-task wall-clock budget shared by
+    all redraw attempts; expiry raises
+    :class:`~repro.core.errors.DeadlineExceeded` to the execution layer.
     """
     from repro.bugs.campaign import run_injection
     from repro.bugs.injector import draw_attempts
@@ -129,7 +133,10 @@ def execute_task(
         config or CoreConfig(),
         task.max_attempts,
     ):
-        result = run_injection(program, golden, spec, config, snapshots=snapshots)
+        result = run_injection(
+            program, golden, spec, config, snapshots=snapshots,
+            deadline=deadline,
+        )
         if result.activated:
             break
     assert result is not None  # max_attempts >= 1 is enforced at generation

@@ -110,6 +110,9 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         help="skip fuzzing: replay these repro artifacts and verify each "
         "recorded verdict still reproduces",
     )
+    from repro.cli import add_fault_args
+
+    add_fault_args(parser)
     return parser.parse_args(argv)
 
 
@@ -169,13 +172,22 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
+    from repro.cli import policy_from_args
     from repro.exec.backends import ProcessPoolBackend, SerialBackend
     from repro.exec.checkpoint import CheckpointError
     from repro.exec.progress import ProgressPrinter
+    from repro.exec.resilience import FaultToleranceError
     from repro.fuzz.engine import run_fuzz
 
+    try:
+        policy = policy_from_args(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     backend = (
-        ProcessPoolBackend(args.jobs) if args.jobs > 1 else SerialBackend()
+        ProcessPoolBackend(args.jobs, policy=policy)
+        if args.jobs > 1
+        else SerialBackend(policy=policy)
     )
     show_progress = (
         args.progress if args.progress is not None else sys.stderr.isatty()
@@ -195,14 +207,18 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
             observers=observers,
             save_corpus_dir=args.save_corpus,
             snapshot_interval=args.snapshot_interval,
+            checkpoint_fsync=args.checkpoint_fsync,
         )
     except (CheckpointError, OSError) as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2
+    except FaultToleranceError as exc:
+        print(f"fault tolerance: {exc}", file=sys.stderr)
+        return 2
 
     print("\n".join(summary.report_lines()))
     print(f"elapsed: {summary.elapsed_s:.1f}s (jobs={args.jobs})")
-    return 1 if summary.findings else 0
+    return 1 if summary.findings or summary.quarantined else 0
 
 
 if __name__ == "__main__":

@@ -40,6 +40,7 @@ from repro.exec.checkpoint import (
     spec_to_dict,
 )
 from repro.exec.progress import ProgressEvent, ProgressObserver
+from repro.exec.resilience import TaskFailure
 from repro.fuzz.artifacts import (
     ReproArtifact,
     Verdict,
@@ -119,7 +120,12 @@ class FuzzResult:
 def run_fuzz_task(task: FuzzTask, context: ExecutionContext) -> FuzzResult:
     """Module-level task runner (the backends' pluggable-runner target)."""
     program = build_program(task.genome, name=f"fuzz{task.index}")
-    report = evaluate(program, config=context.config, bug=task.bug)
+    report = evaluate(
+        program,
+        config=context.config,
+        bug=task.bug,
+        deadline=context.deadline,
+    )
     return FuzzResult(
         index=task.index,
         ok=report.ok,
@@ -170,6 +176,14 @@ class FuzzSummary:
     findings: List[Finding] = field(default_factory=list)
     failure_runs: int = 0
     elapsed_s: float = 0.0
+    #: Evaluations the execution layer quarantined (index -> TaskFailure);
+    #: excluded from coverage/corpus/findings, reported so a fuzz run with
+    #: harness-level casualties is visibly incomplete.
+    task_failures: Dict[int, TaskFailure] = field(default_factory=dict)
+
+    @property
+    def quarantined(self) -> int:
+        return len(self.task_failures)
 
     def report_lines(self) -> List[str]:
         """The deterministic coverage report (timing deliberately absent,
@@ -184,6 +198,17 @@ class FuzzSummary:
         for family, count in sorted(self.coverage.by_feature().items()):
             lines.append(f"  {family:<14} {count} buckets")
         lines.append(f"corpus: {len(self.corpus)} interesting inputs")
+        if self.task_failures:
+            kinds: Dict[str, int] = {}
+            for failure in self.task_failures.values():
+                kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+            detail = ", ".join(
+                f"{kinds[k]} {k}" for k in sorted(kinds)
+            )
+            lines.append(
+                f"quarantined: {self.quarantined} evaluations ({detail}) "
+                "-- excluded from coverage/corpus"
+            )
         lines.append(
             f"failures: {self.failure_runs} runs, "
             f"{len(self.findings)} unique findings"
@@ -238,10 +263,22 @@ def _result_from_record(record: Dict[str, object]) -> FuzzResult:
 
 
 class _FuzzCheckpoint:
-    """Append-only JSONL log of completed evaluations."""
+    """Append-only JSONL log of completed evaluations.
 
-    def __init__(self, path: str, manifest: Dict[str, object], resume: bool):
+    Every record is flushed (a process kill loses at most the line being
+    written); ``fsync=True`` additionally survives hard machine kills at a
+    per-record I/O cost — same policy as the campaign CheckpointWriter.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        manifest: Dict[str, object],
+        resume: bool,
+        fsync: bool = False,
+    ):
         self.path = path
+        self.fsync = fsync
         if resume:
             _truncate_torn_tail(path)
             self._handle = open(path, "a")
@@ -252,10 +289,21 @@ class _FuzzCheckpoint:
     def write(self, result: FuzzResult) -> None:
         self._append(_result_to_record(result))
 
+    def write_failure(self, index: int, failure: TaskFailure) -> None:
+        """Record one quarantined evaluation so a resume skips it."""
+        self._append(
+            {
+                "type": "eval-failure",
+                "index": index,
+                "failure": failure.to_record(),
+            }
+        )
+
     def _append(self, record: Dict[str, object]) -> None:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         self._handle.close()
@@ -287,7 +335,24 @@ def _fuzz_manifest(
 def load_fuzz_checkpoint(
     path: str,
 ) -> Tuple[Dict[str, object], Dict[int, FuzzResult]]:
-    """Load manifest + recorded results, tolerating a torn final line."""
+    """Load manifest + recorded results, tolerating a torn final line.
+
+    Quarantined ``eval-failure`` records are tolerated but dropped; use
+    :func:`load_fuzz_checkpoint_full` to get them too.
+    """
+    manifest, done, _ = load_fuzz_checkpoint_full(path)
+    return manifest, done
+
+
+def load_fuzz_checkpoint_full(
+    path: str,
+) -> Tuple[
+    Dict[str, object], Dict[int, FuzzResult], Dict[int, TaskFailure]
+]:
+    """Load manifest, recorded results and quarantined evaluations.
+
+    A later ``eval`` record for an index supersedes its ``eval-failure``
+    record (a retry eventually succeeded)."""
     with open(path) as handle:
         lines = handle.read().splitlines()
     if not lines:
@@ -315,14 +380,21 @@ def load_fuzz_checkpoint(
             f"{manifest.get('version')!r}"
         )
     done: Dict[int, FuzzResult] = {}
+    failures: Dict[int, TaskFailure] = {}
     for record in records[1:]:
-        if record.get("type") != "eval":
-            raise CheckpointError(
-                f"unexpected record type {record.get('type')!r}"
-            )
-        result = _result_from_record(record)
-        done[result.index] = result
-    return manifest, done
+        kind = record.get("type")
+        if kind == "eval":
+            result = _result_from_record(record)
+            done[result.index] = result
+            failures.pop(result.index, None)
+        elif kind == "eval-failure":
+            index = record["index"]
+            if index in done:
+                continue  # a completed eval outranks any failure record
+            failures[index] = TaskFailure.from_record(record["failure"])
+        else:
+            raise CheckpointError(f"unexpected record type {kind!r}")
+    return manifest, done, failures
 
 
 def _verify_fuzz_manifest(
@@ -510,6 +582,7 @@ def run_fuzz(
     save_corpus_dir: Optional[str] = None,
     bug: Optional[BugSpec] = None,
     snapshot_interval: int = 0,
+    checkpoint_fsync: bool = False,
 ) -> FuzzSummary:
     """Run one coverage-guided differential fuzzing campaign.
 
@@ -535,9 +608,18 @@ def run_fuzz(
             there is no repeated prefix to warm-start and the value has no
             effect on fuzzing throughput or results. It is deliberately
             NOT part of the fuzz manifest identity.
+        checkpoint_fsync: ``os.fsync`` every checkpoint record.
 
     Returns:
         The :class:`FuzzSummary` (coverage map, corpus, findings).
+
+    Fault tolerance: with a policy-enabled backend, an evaluation the
+    execution layer gives up on (exception / timeout / worker crash after
+    retries) lands in ``FuzzSummary.task_failures`` instead of aborting
+    the campaign, is checkpointed as an ``eval-failure`` record (so a
+    resume skips it), and contributes nothing to coverage/corpus — the
+    downstream schedule evolves exactly as if the run had produced no
+    novelty, which keeps resume and fresh runs consistent with each other.
     """
     if resume and checkpoint_path is None:
         raise ValueError("resume=True requires checkpoint_path")
@@ -563,14 +645,21 @@ def run_fuzz(
     )
 
     restored: Dict[int, FuzzResult] = {}
+    quarantined: Dict[int, TaskFailure] = {}
     if resume:
-        manifest, restored = load_fuzz_checkpoint(checkpoint_path)
+        manifest, restored, restored_failures = load_fuzz_checkpoint_full(
+            checkpoint_path
+        )
         _verify_fuzz_manifest(manifest, expected_manifest, checkpoint_path)
+        quarantined.update(restored_failures)
 
     writer: Optional[_FuzzCheckpoint] = None
     if checkpoint_path is not None:
         writer = _FuzzCheckpoint(
-            checkpoint_path, expected_manifest, resume=resume
+            checkpoint_path,
+            expected_manifest,
+            resume=resume,
+            fsync=checkpoint_fsync,
         )
 
     started = time.monotonic()
@@ -592,6 +681,7 @@ def run_fuzz(
             throughput=throughput,
             eta_s=eta,
             benchmark=None,
+            failed=len(quarantined),
         )
         for observer in observers:
             observer(event)
@@ -607,14 +697,21 @@ def run_fuzz(
                 if task.index in restored:
                     results[task.index] = restored[task.index]
                     restored_used += 1
+                elif task.index in quarantined:
+                    restored_used += 1  # known-bad; don't re-crash on it
                 else:
                     pending.append(task)
             if pending and observers:
                 emit()
-            for task, result in backend.run(pending, context):
-                results[task.index] = result
-                if writer is not None:
-                    writer.write(result)
+            for task, outcome in backend.run(pending, context):
+                if isinstance(outcome, TaskFailure):
+                    quarantined[task.index] = outcome
+                    if writer is not None:
+                        writer.write_failure(task.index, outcome)
+                else:
+                    results[task.index] = outcome
+                    if writer is not None:
+                        writer.write(outcome)
                 executed += 1
                 emit()
             by_index = {task.index: task for task in tasks}
@@ -639,5 +736,6 @@ def run_fuzz(
         findings=campaign.findings,
         failure_runs=campaign.failure_runs,
         elapsed_s=time.monotonic() - started,
+        task_failures=dict(sorted(quarantined.items())),
     )
     return summary

@@ -38,9 +38,12 @@ class TestCsv:
 class TestJson:
     def test_structure(self, small_campaign):
         payload = json.loads(to_json(small_campaign))
-        assert set(payload) == {"injections", "aggregates", "goldens"}
+        assert set(payload) == {
+            "injections", "aggregates", "goldens", "quarantined"
+        }
         assert len(payload["injections"]) == len(small_campaign.results)
         assert payload["aggregates"]["coverage"]["idld"] == 1.0
+        assert payload["quarantined"] == []  # a clean campaign loses nothing
 
     def test_goldens_recorded(self, small_campaign):
         payload = json.loads(to_json(small_campaign))
