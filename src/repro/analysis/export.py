@@ -104,9 +104,12 @@ def to_json(campaign: "CampaignResult") -> str:
 
 
 def write_csv(campaign: "CampaignResult", path: str) -> None:
-    """Write :func:`to_csv` output to ``path``."""
-    with open(path, "w", newline="") as handle:
-        handle.write(to_csv(campaign))
+    """Write :func:`to_csv` output to ``path`` atomically (temp file in the
+    destination directory + ``os.replace``), so a killed export never
+    leaves a half-written figure input."""
+    from repro.exec.durability import atomic_write_text
+
+    atomic_write_text(path, to_csv(campaign), newline="")
 
 
 def append_csv(records: Iterable["InjectionResult"], path: str) -> None:
@@ -149,6 +152,8 @@ def campaign_from_checkpoint(path: str) -> "CampaignResult":
 
 
 def write_json(campaign: "CampaignResult", path: str) -> None:
-    """Write :func:`to_json` output to ``path``."""
-    with open(path, "w") as handle:
-        handle.write(to_json(campaign))
+    """Write :func:`to_json` output to ``path`` atomically — same guarantee
+    as :func:`write_csv`."""
+    from repro.exec.durability import atomic_write_text
+
+    atomic_write_text(path, to_json(campaign))

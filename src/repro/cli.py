@@ -93,6 +93,29 @@ def policy_from_args(args: argparse.Namespace):
     )
 
 
+def print_shutdown_notice(shutdown, checkpoint_path, subcommand) -> None:
+    """One actionable stderr message for a graceful-signal stop: what was
+    saved and exactly how to resume (the CLI then exits with
+    :data:`~repro.exec.durability.SHUTDOWN_EXIT_CODE`)."""
+    print(
+        f"interrupted by {shutdown.signal_name}: stopped dispatching, "
+        "drained inflight work and flushed the checkpoint",
+        file=sys.stderr,
+    )
+    if checkpoint_path:
+        print(
+            f"resume with: repro {subcommand} --resume {checkpoint_path} "
+            "(plus your original options)",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "no --checkpoint was given, so completed work was not saved; "
+            "rerun with --checkpoint PATH to make runs interruptible",
+            file=sys.stderr,
+        )
+
+
 def print_quarantine(failures, stream=None) -> None:
     """One line per quarantined task, on stderr by default."""
     stream = stream if stream is not None else sys.stderr
@@ -303,6 +326,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     from repro.exec.backends import ProcessPoolBackend, SerialBackend
     from repro.exec.checkpoint import CheckpointError
+    from repro.exec.durability import SHUTDOWN_EXIT_CODE, GracefulShutdown
     from repro.exec.engine import run_engine
     from repro.exec.progress import ProgressPrinter
     from repro.exec.resilience import FaultToleranceError
@@ -324,23 +348,30 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     started = time.time()
     try:
-        campaign = run_engine(
-            programs,
-            runs_per_model=args.runs,
-            seed=args.seed,
-            backend=backend,
-            checkpoint_path=args.resume or args.checkpoint,
-            resume=args.resume is not None,
-            observers=observers,
-            snapshot_interval=args.snapshot_interval,
-            checkpoint_fsync=args.checkpoint_fsync,
-        )
+        with GracefulShutdown() as shutdown:
+            campaign = run_engine(
+                programs,
+                runs_per_model=args.runs,
+                seed=args.seed,
+                backend=backend,
+                checkpoint_path=args.resume or args.checkpoint,
+                resume=args.resume is not None,
+                observers=observers,
+                snapshot_interval=args.snapshot_interval,
+                checkpoint_fsync=args.checkpoint_fsync,
+                shutdown=shutdown,
+            )
     except (CheckpointError, OSError) as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2
     except FaultToleranceError as exc:
         print(f"fault tolerance: {exc}", file=sys.stderr)
         return 2
+    if shutdown.requested:
+        print_shutdown_notice(
+            shutdown, args.resume or args.checkpoint, "campaign"
+        )
+        return SHUTDOWN_EXIT_CODE
     elapsed = time.time() - started
     quarantined = (
         f", {campaign.quarantined} quarantined" if campaign.quarantined else ""
@@ -362,11 +393,13 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     """The ``repro`` umbrella command: ``repro <subcommand> ...``.
 
     Subcommands: ``campaign`` (the injection campaign, same as the
-    ``idld-campaign`` script) and ``fuzz`` (coverage-guided differential
-    fuzzing). Also reachable without installation as ``python -m repro``.
+    ``idld-campaign`` script), ``fuzz`` (coverage-guided differential
+    fuzzing) and ``checkpoint`` (inspect/verify/repair/merge the JSONL
+    artifacts both engines write). Also reachable without installation as
+    ``python -m repro``.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
-    usage = "usage: repro {campaign,fuzz} [options]  (-h for help)"
+    usage = "usage: repro {campaign,fuzz,checkpoint} [options]  (-h for help)"
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)
         return 0 if argv else 2
@@ -377,6 +410,10 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         from repro.fuzz.cli import fuzz_main
 
         return fuzz_main(rest)
+    if command == "checkpoint":
+        from repro.exec.cli import checkpoint_main
+
+        return checkpoint_main(rest)
     print(f"unknown subcommand {command!r}\n{usage}", file=sys.stderr)
     return 2
 

@@ -13,6 +13,12 @@ with a :class:`~repro.exec.resilience.FaultPolicy` and tasks get wall-clock
 deadlines, bounded retries, structured quarantine
 (:class:`~repro.exec.resilience.TaskFailure`), worker-crash recovery with
 pool respawn, and graceful degradation to serial execution.
+
+Artifact integrity lives in :mod:`repro.exec.durability`: CRC-sealed
+checkpoint records (format v2) with streaming scan/repair primitives
+behind the ``repro checkpoint`` CLI, single-writer lockfiles
+(:class:`~repro.exec.durability.CheckpointLock`), atomic exports and the
+SIGINT/SIGTERM :class:`~repro.exec.durability.GracefulShutdown` latch.
 """
 
 from repro.exec.backends import Backend, ProcessPoolBackend, SerialBackend
@@ -21,6 +27,15 @@ from repro.exec.checkpoint import (
     CheckpointWriter,
     load_checkpoint,
     load_checkpoint_full,
+)
+from repro.exec.durability import (
+    CheckpointLock,
+    CheckpointLockedError,
+    GracefulShutdown,
+    SHUTDOWN_EXIT_CODE,
+    atomic_write_text,
+    scan_checkpoint,
+    truncate_torn_tail,
 )
 from repro.exec.engine import run_engine
 from repro.exec.progress import ProgressEvent, ProgressPrinter
@@ -40,20 +55,27 @@ from repro.exec.tasks import (
 __all__ = [
     "Backend",
     "CheckpointError",
+    "CheckpointLock",
+    "CheckpointLockedError",
     "CheckpointWriter",
     "FaultPolicy",
     "FaultToleranceError",
+    "GracefulShutdown",
     "InjectionTask",
     "ProcessPoolBackend",
     "ProgressEvent",
     "ProgressPrinter",
+    "SHUTDOWN_EXIT_CODE",
     "SerialBackend",
     "TaskFailure",
     "TaskFailureRecord",
+    "atomic_write_text",
     "derive_seed",
     "execute_task",
     "generate_tasks",
     "load_checkpoint",
     "load_checkpoint_full",
     "run_engine",
+    "scan_checkpoint",
+    "truncate_torn_tail",
 ]

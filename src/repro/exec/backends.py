@@ -51,6 +51,7 @@ from typing import (
 )
 
 from repro.bugs.campaign import InjectionResult, run_golden
+from repro.exec.durability import GracefulShutdown
 from repro.exec.resilience import (
     AttemptTracker,
     FaultPolicy,
@@ -105,6 +106,12 @@ class ExecutionContext:
     the simulator, which checks it every ~1024 cycles and raises
     :class:`~repro.core.errors.DeadlineExceeded` on expiry. Custom runners
     read the current task's deadline from :attr:`deadline`.
+
+    ``shutdown`` (parent-side only, never shipped to workers) is the
+    SIGINT/SIGTERM latch: once it is requested the backends stop
+    dispatching, drain or abandon inflight work under its deadline and
+    return early — the engine then flushes the checkpoint so the run is
+    resumable.
     """
 
     programs: Dict[str, Program]
@@ -112,6 +119,7 @@ class ExecutionContext:
     runner: Optional[TaskRunner] = None
     snapshot_interval: int = 0
     task_timeout_s: Optional[float] = None
+    shutdown: Optional[GracefulShutdown] = None
     _goldens: Dict[str, RunResult] = field(default_factory=dict)
     _snapshots: Dict[str, "SnapshotProvider"] = field(default_factory=dict)
     _deadline: Optional[float] = field(default=None, repr=False)
@@ -168,6 +176,10 @@ class ExecutionContext:
             )
         finally:
             self._deadline = None
+
+
+def _shutdown_requested(context: ExecutionContext) -> bool:
+    return context.shutdown is not None and context.shutdown.requested
 
 
 class Backend(Protocol):
@@ -233,11 +245,15 @@ class SerialBackend:
             context.task_timeout_s = self.policy.task_timeout_s
             tracker = AttemptTracker(self.policy)
             for task in tasks:
+                if _shutdown_requested(context):
+                    return
                 yield task, run_task_with_retries(
                     task, context, self.policy, tracker
                 )
             return
         for task in tasks:
+            if _shutdown_requested(context):
+                return
             yield task, context.execute(task)
 
 
@@ -361,6 +377,18 @@ class ProcessPoolBackend:
             inflight = {}
             cursor = 0
             while cursor < len(pending) or inflight:
+                if _shutdown_requested(context):
+                    # Stop dispatching; collect what finishes within the
+                    # drain deadline, abandon the rest (resume re-runs them).
+                    done, _ = wait(
+                        inflight, timeout=context.shutdown.drain_remaining()
+                    )
+                    for future in done:
+                        task = inflight.pop(future)
+                        if future.exception() is None:
+                            yield task, future.result()
+                    self._kill_pool(pool)
+                    return
                 while cursor < len(pending) and len(inflight) < self.max_inflight:
                     task = pending[cursor]
                     inflight[pool.submit(_worker_execute, task)] = task
@@ -411,6 +439,22 @@ class ProcessPoolBackend:
             while queue or suspects or inflight:
                 if degraded:
                     break
+                if _shutdown_requested(context):
+                    # Stop dispatching; collect whatever completes within
+                    # the drain deadline (without charging or quarantining
+                    # anything mid-shutdown), abandon the rest — the
+                    # flushed checkpoint makes them resumable.
+                    done, _ = wait(
+                        inflight, timeout=context.shutdown.drain_remaining()
+                    )
+                    for future in done:
+                        entry = inflight.pop(future)
+                        try:
+                            outcome = future.result()
+                        except Exception:
+                            continue
+                        yield entry.task, outcome
+                    return
 
                 # -- submit ------------------------------------------------
                 # Probe mode: after a crash, the tasks that were in flight
@@ -565,6 +609,8 @@ class ProcessPoolBackend:
                 suspects.clear()
                 queue.clear()
                 for task in remaining:
+                    if _shutdown_requested(context):
+                        return
                     yield task, run_task_with_retries(
                         task, context, policy, tracker
                     )

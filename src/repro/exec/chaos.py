@@ -24,12 +24,20 @@ Behaviors (each variable holds comma-separated task keys):
   "poison" task that fails every attempt).
 - ``REPRO_CHAOS_HANG``: sleep for ``REPRO_CHAOS_HANG_S`` seconds (default
   3600) — a non-cooperative hang only the parent watchdog can clear.
+- ``REPRO_CHAOS_TORN_APPEND`` (honored by
+  :class:`~repro.exec.checkpoint.CheckpointWriter` itself, one task key):
+  emit half of that task's checkpoint line and hard-exit — a deterministic
+  SIGKILL-mid-append that leaves a torn tail *and* a stale writer lock.
 
 ``python -m repro.exec.chaos`` runs the end-to-end smoke used by CI:
 a small parallel campaign with one worker-killer and one hung task must run
 to completion, quarantine exactly those two as structured failures in the
 checkpoint, keep every surviving result bit-identical to a clean serial
-run, and then ``--resume`` must execute zero new tasks.
+run, and then ``--resume`` must execute zero new tasks. A second scenario
+SIGKILLs a ``repro campaign`` subprocess mid-append and asserts that
+``repro checkpoint verify`` flags the torn tail, ``repair`` salvages every
+intact record, the stale lock is taken over, and a resume of the repaired
+file completes bit-identically to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ import time
 from typing import Dict, Iterable, Optional, Set
 
 from repro.exec.backends import ExecutionContext
+from repro.exec.durability import ENV_TORN_APPEND, TORN_APPEND_EXIT_STATUS
 from repro.exec.tasks import execute_task
 
 ENV_EXIT = "REPRO_CHAOS_EXIT"
@@ -49,7 +58,14 @@ ENV_HANG = "REPRO_CHAOS_HANG"
 ENV_HANG_S = "REPRO_CHAOS_HANG_S"
 
 #: All plan-carrying variables, for scrubbing between scenarios.
-ALL_ENV_VARS = (ENV_EXIT, ENV_EXIT_IN_WORKER, ENV_RAISE, ENV_HANG, ENV_HANG_S)
+ALL_ENV_VARS = (
+    ENV_EXIT,
+    ENV_EXIT_IN_WORKER,
+    ENV_RAISE,
+    ENV_HANG,
+    ENV_HANG_S,
+    ENV_TORN_APPEND,
+)
 
 #: Exit status used for deliberate worker kills (recognizable in CI logs).
 EXIT_STATUS = 17
@@ -218,7 +234,113 @@ def _smoke(jobs: int = 2) -> int:
         f"chaos-smoke OK: {len(campaign.results)} completed, "
         f"{campaign.quarantined} quarantined, resume executed 0 tasks"
     )
+    _smoke_torn_append(programs, runs, seed, tasks, baseline_by_key, comparable)
     return 0
+
+
+def _smoke_torn_append(
+    programs, runs, seed, tasks, baseline_by_key, comparable
+) -> None:
+    """Kill ``repro campaign`` mid-append, then verify → repair → resume.
+
+    The writer process dies after emitting half of one record's line (a
+    deterministic SIGKILL-mid-append), leaving a torn tail and a stale
+    writer lock. ``repro checkpoint verify`` must flag the damage,
+    ``repair`` must salvage everything but the torn record, the dead
+    owner's lock must be taken over, and a resume of the repaired file
+    must complete bit-identically to an uninterrupted run.
+    """
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.exec.backends import SerialBackend
+    from repro.exec.checkpoint import load_checkpoint_full
+    from repro.exec.cli import checkpoint_main
+    from repro.exec.durability import lock_path_for, scan_checkpoint
+    from repro.exec.engine import run_engine
+
+    torn_key = tasks[2].key  # third record: manifest + 2 intact + torn tail
+    _scrub_env()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "torn.jsonl")
+        child = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "campaign",
+                "--runs",
+                str(runs),
+                "--benchmarks",
+                "bitcount",
+                "--scale",
+                "0.5",
+                "--seed",
+                str(seed),
+                "--checkpoint",
+                path,
+                "--snapshot-interval",
+                "0",  # cold starts, comparable to the cold baseline
+                "--no-progress",
+                "--figures",
+                "3",
+            ],
+            env=dict(os.environ, **{ENV_TORN_APPEND: torn_key}),
+            capture_output=True,
+            text=True,
+        )
+        assert child.returncode == TORN_APPEND_EXIT_STATUS, (
+            f"expected torn-append exit {TORN_APPEND_EXIT_STATUS}, got "
+            f"{child.returncode}: {child.stderr}"
+        )
+        assert os.path.exists(lock_path_for(path)), (
+            "a killed writer must leave its lock behind"
+        )
+
+        report = scan_checkpoint(path)
+        assert report.torn_tail and not report.interior_issues, report.issues
+        assert report.records == 2, f"expected 2 intact records, {report}"
+        assert checkpoint_main(["verify", path]) == 1, (
+            "verify must flag a torn tail with a nonzero exit"
+        )
+        print(f"chaos-smoke: torn tail at {path}:{report.issues[0].lineno} "
+              "flagged by verify")
+
+        repaired = os.path.join(tmp, "torn.repaired.jsonl")
+        assert checkpoint_main(["repair", path, "-o", repaired]) == 0
+        assert checkpoint_main(["verify", repaired]) == 0, (
+            "a repaired checkpoint must verify clean"
+        )
+        _, done, quarantined = load_checkpoint_full(repaired)
+        assert len(done) == 2 and not quarantined, (
+            f"repair must salvage exactly the 2 intact records, got {done}"
+        )
+
+        # Park the dead owner's lock next to the repaired file: the resume
+        # must take it over (same host, provably dead PID), not refuse.
+        os.replace(lock_path_for(path), lock_path_for(repaired))
+        resumed = run_engine(
+            programs,
+            runs,
+            seed=seed,
+            backend=SerialBackend(),
+            checkpoint_path=repaired,
+            resume=True,
+        )
+        assert len(resumed.results) == len(tasks), (
+            f"resume must finish all {len(tasks)} tasks, "
+            f"got {len(resumed.results)}"
+        )
+        for task, result in zip(tasks, resumed.results):
+            assert comparable(result) == baseline_by_key[task.key], (
+                f"resumed task {task.key} diverged from the clean run"
+            )
+        assert checkpoint_main(["verify", repaired]) == 0
+    print(
+        "chaos-smoke OK: torn append repaired, stale lock taken over, "
+        "resume bit-identical to the uninterrupted run"
+    )
 
 
 if __name__ == "__main__":

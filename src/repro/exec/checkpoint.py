@@ -9,9 +9,18 @@ carry the canonical task index, so a campaign rebuilt from a checkpoint is
 re-sorted into task order and is identical to an uninterrupted run; a
 resume skips quarantined tasks instead of re-crashing on them.
 
+Format v2 (this writer): every record additionally carries a ``crc``
+(CRC32 of its canonical JSON payload) and the manifest an ``identity``
+content hash of the campaign-identity fields, so interior corruption is
+detected at read time with line numbers (``repro checkpoint verify`` /
+``repair`` operate on exactly this). v1 files (no CRCs) are still loaded
+and resumed; their records simply go unchecksummed.
+
 A process killed mid-append may leave a truncated final line; the loader
 tolerates (and drops) exactly that — a malformed line anywhere else is a
-corruption error.
+corruption error. A sidecar ``<path>.lock`` (PID + heartbeat mtime) makes
+the writer single-owner: a second concurrent run refuses to append to the
+same file, with stale-lock takeover once the heartbeat ages out.
 """
 
 from __future__ import annotations
@@ -26,15 +35,24 @@ from repro.bugs.campaign import InjectionResult
 from repro.bugs.models import BugModel, BugSpec
 from repro.core.cpu import RunResult
 from repro.core.rrs.signals import ArrayName, SignalKind
+from repro.exec.durability import (
+    CheckpointError,
+    CheckpointLock,
+    ENV_TORN_APPEND,
+    TORN_APPEND_EXIT_STATUS,
+    iter_sealed_records,
+    manifest_identity,
+    seal_record,
+    truncate_torn_tail,
+)
 from repro.exec.resilience import TaskFailure, TaskFailureRecord
 from repro.exec.tasks import InjectionTask
 
-#: Checkpoint format version; readers reject anything else.
-FORMAT_VERSION = 1
+#: Checkpoint format version this writer produces.
+FORMAT_VERSION = 2
 
-
-class CheckpointError(RuntimeError):
-    """Raised on corrupt or mismatched checkpoint files."""
+#: Versions the loaders accept (v1: pre-CRC files, still resumable).
+SUPPORTED_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -58,7 +76,7 @@ class Manifest:
     goldens: Dict[str, GoldenSummary]
 
     def to_record(self) -> Dict[str, object]:
-        return {
+        record = {
             "type": "manifest",
             "version": FORMAT_VERSION,
             "seed": self.seed,
@@ -71,14 +89,22 @@ class Manifest:
                 for name, g in self.goldens.items()
             },
         }
+        record["identity"] = manifest_identity(record)
+        return record
 
     @classmethod
     def from_record(cls, record: Dict[str, object]) -> "Manifest":
         if record.get("type") != "manifest":
             raise CheckpointError("checkpoint does not start with a manifest")
-        if record.get("version") != FORMAT_VERSION:
+        if record.get("version") not in SUPPORTED_VERSIONS:
             raise CheckpointError(
                 f"unsupported checkpoint version {record.get('version')!r}"
+            )
+        identity = record.get("identity")
+        if identity is not None and identity != manifest_identity(record):
+            raise CheckpointError(
+                "manifest identity hash mismatch (manifest edited or "
+                "corrupted)"
             )
         return cls(
             seed=record["seed"],
@@ -153,21 +179,9 @@ def result_from_dict(data: Dict[str, object]) -> InjectionResult:
     )
 
 
-def _truncate_torn_tail(path: str) -> None:
-    """Drop a partial final line (no trailing newline) left by a kill,
-    so appended records start on a fresh line."""
-    with open(path, "rb+") as handle:
-        handle.seek(0, os.SEEK_END)
-        size = handle.tell()
-        if size == 0:
-            return
-        handle.seek(size - 1)
-        if handle.read(1) == b"\n":
-            return
-        handle.seek(0)
-        data = handle.read()
-        keep = data.rfind(b"\n") + 1
-        handle.truncate(keep)
+#: Backwards-compatible alias: torn-tail truncation now streams backwards
+#: block-wise (O(torn tail) RAM, not O(file)) in :mod:`repro.exec.durability`.
+_truncate_torn_tail = truncate_torn_tail
 
 
 class CheckpointWriter:
@@ -179,6 +193,12 @@ class CheckpointWriter:
     the line being written; with ``fsync=True`` every record is also
     ``os.fsync``'d, so the checkpoint additionally survives hard machine
     kills (power loss, kernel panic) at a per-record I/O cost.
+
+    Every record is CRC-sealed (format v2), and with ``lock=True`` (the
+    default) a sidecar single-writer lock is held for the writer's
+    lifetime — a concurrent second run raises
+    :class:`~repro.exec.durability.CheckpointLockedError` instead of
+    interleaving appends; the lock's heartbeat refreshes on every append.
     """
 
     def __init__(
@@ -187,17 +207,26 @@ class CheckpointWriter:
         manifest: Manifest,
         resume: bool = False,
         fsync: bool = False,
+        lock: bool = True,
     ) -> None:
         self.path = path
         self.manifest = manifest
         self.fsync = fsync
         self._handle: Optional[IO[str]] = None
-        if resume:
-            _truncate_torn_tail(path)
-            self._handle = open(path, "a")
-        else:
-            self._handle = open(path, "w")
-            self._append(manifest.to_record())
+        self._lock: Optional[CheckpointLock] = None
+        if lock:
+            self._lock = CheckpointLock(path).acquire()
+        try:
+            if resume:
+                _truncate_torn_tail(path)
+                self._handle = open(path, "a")
+            else:
+                self._handle = open(path, "w")
+                self._append(manifest.to_record())
+        except BaseException:
+            if self._lock is not None:
+                self._lock.release()
+            raise
 
     def write_result(self, task: InjectionTask, result: InjectionResult) -> None:
         self._append(
@@ -225,15 +254,29 @@ class CheckpointWriter:
 
     def _append(self, record: Dict[str, object]) -> None:
         assert self._handle is not None
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(seal_record(record), sort_keys=True) + "\n"
+        torn_key = os.environ.get(ENV_TORN_APPEND)
+        if torn_key and record.get("key") == torn_key:
+            # Chaos hook: a deterministic SIGKILL-mid-append — half the
+            # line reaches the file, no newline, and the process dies with
+            # the lock still on disk. Production runs never set this.
+            self._handle.write(line[: len(line) // 2])
+            self._handle.flush()
+            os._exit(TORN_APPEND_EXIT_STATUS)
+        self._handle.write(line)
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
+        if self._lock is not None:
+            self._lock.heartbeat()
 
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
 
     def __enter__(self) -> "CheckpointWriter":
         return self
@@ -265,32 +308,23 @@ def load_checkpoint_full(
 
     Returns ``(manifest, key -> (index, result), key -> failure record)``.
     Tolerates a truncated final line (the signature of a killed run);
-    raises :class:`CheckpointError` for any other malformation. When the
-    same key appears twice the later record wins — harmless for results
-    (records for a key are byte-identical by construction) and correct for
-    failures (a later *result* for a previously-quarantined key means a
-    retry eventually succeeded, so the failure is superseded).
+    raises :class:`CheckpointError` — with the line number — for any other
+    malformation, including an interior CRC mismatch. Streams the file
+    line by line (multi-GB checkpoints never land in memory whole). When
+    the same key appears twice the later record wins — harmless for
+    results (records for a key are byte-identical by construction) and
+    correct for failures (a later *result* for a previously-quarantined
+    key means a retry eventually succeeded, so the failure is superseded).
     """
-    with open(path) as handle:
-        lines = handle.read().splitlines()
-    if not lines:
+    if os.path.getsize(path) == 0:
         raise CheckpointError(f"{path}: empty checkpoint file")
-    records: List[Dict[str, object]] = []
-    for lineno, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError:
-            if lineno == len(lines) - 1:
-                break  # truncated final line from an interrupted run
-            raise CheckpointError(f"{path}:{lineno + 1}: corrupt record")
-    if not records:
-        raise CheckpointError(f"{path}: no complete records")
-    manifest = Manifest.from_record(records[0])
+    manifest: Optional[Manifest] = None
     done: Dict[str, Tuple[int, InjectionResult]] = {}
     failures: Dict[str, TaskFailureRecord] = {}
-    for record in records[1:]:
+    for lineno, record in iter_sealed_records(path):
+        if manifest is None:
+            manifest = Manifest.from_record(record)
+            continue
         kind = record.get("type")
         if kind == "result":
             key = record["key"]
@@ -307,7 +341,11 @@ def load_checkpoint_full(
                 failure=TaskFailure.from_record(record["failure"]),
             )
         else:
-            raise CheckpointError(f"unexpected record type {kind!r}")
+            raise CheckpointError(
+                f"{path}:{lineno}: unexpected record type {kind!r}"
+            )
+    if manifest is None:
+        raise CheckpointError(f"{path}: no complete records")
     return manifest, done, failures
 
 

@@ -36,6 +36,7 @@ from repro.exec.checkpoint import (
     load_checkpoint_full,
     manifest_for,
 )
+from repro.exec.durability import GracefulShutdown
 from repro.exec.progress import ProgressEvent, ProgressObserver
 from repro.exec.resilience import TaskFailure, TaskFailureRecord
 from repro.exec.tasks import generate_tasks
@@ -77,6 +78,7 @@ def run_engine(
     snapshot_interval: int = 0,
     checkpoint_fsync: bool = False,
     task_runner: Optional[TaskRunner] = None,
+    shutdown: Optional[GracefulShutdown] = None,
 ) -> CampaignResult:
     """Run a full injection campaign through the task engine.
 
@@ -107,6 +109,10 @@ def run_engine(
         task_runner: Override the per-task execution function (see
             :data:`~repro.exec.backends.TaskRunner`); used by the chaos
             harness to wrap the injection path with fault injection.
+        shutdown: A :class:`~repro.exec.durability.GracefulShutdown` latch;
+            once requested (SIGINT/SIGTERM) the backend stops dispatching,
+            drains inflight work under the latch's deadline and the engine
+            returns a partial — but checkpointed and resumable — campaign.
 
     Returns:
         The populated :class:`CampaignResult`, with completed results in
@@ -125,6 +131,7 @@ def run_engine(
         config=config,
         runner=task_runner,
         snapshot_interval=snapshot_interval,
+        shutdown=shutdown,
     )
     goldens = {name: context.golden(name) for name in programs}
 

@@ -172,9 +172,10 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    from repro.cli import policy_from_args
+    from repro.cli import policy_from_args, print_shutdown_notice
     from repro.exec.backends import ProcessPoolBackend, SerialBackend
     from repro.exec.checkpoint import CheckpointError
+    from repro.exec.durability import SHUTDOWN_EXIT_CODE, GracefulShutdown
     from repro.exec.progress import ProgressPrinter
     from repro.exec.resilience import FaultToleranceError
     from repro.fuzz.engine import run_fuzz
@@ -195,26 +196,31 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     observers = [ProgressPrinter()] if show_progress else []
 
     try:
-        summary = run_fuzz(
-            seed=args.seed,
-            budget=args.budget,
-            backend=backend,
-            batch=args.batch,
-            shrink_budget=args.shrink_budget,
-            artifacts_dir=args.artifacts,
-            checkpoint_path=args.resume or args.checkpoint,
-            resume=args.resume is not None,
-            observers=observers,
-            save_corpus_dir=args.save_corpus,
-            snapshot_interval=args.snapshot_interval,
-            checkpoint_fsync=args.checkpoint_fsync,
-        )
+        with GracefulShutdown() as shutdown:
+            summary = run_fuzz(
+                seed=args.seed,
+                budget=args.budget,
+                backend=backend,
+                batch=args.batch,
+                shrink_budget=args.shrink_budget,
+                artifacts_dir=args.artifacts,
+                checkpoint_path=args.resume or args.checkpoint,
+                resume=args.resume is not None,
+                observers=observers,
+                save_corpus_dir=args.save_corpus,
+                snapshot_interval=args.snapshot_interval,
+                checkpoint_fsync=args.checkpoint_fsync,
+                shutdown=shutdown,
+            )
     except (CheckpointError, OSError) as exc:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2
     except FaultToleranceError as exc:
         print(f"fault tolerance: {exc}", file=sys.stderr)
         return 2
+    if shutdown.requested:
+        print_shutdown_notice(shutdown, args.resume or args.checkpoint, "fuzz")
+        return SHUTDOWN_EXIT_CODE
 
     print("\n".join(summary.report_lines()))
     print(f"elapsed: {summary.elapsed_s:.1f}s (jobs={args.jobs})")

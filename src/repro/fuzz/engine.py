@@ -39,6 +39,13 @@ from repro.exec.checkpoint import (
     _truncate_torn_tail,
     spec_to_dict,
 )
+from repro.exec.durability import (
+    CheckpointLock,
+    GracefulShutdown,
+    iter_sealed_records,
+    manifest_identity,
+    seal_record,
+)
 from repro.exec.progress import ProgressEvent, ProgressObserver
 from repro.exec.resilience import TaskFailure
 from repro.fuzz.artifacts import (
@@ -62,8 +69,12 @@ from repro.fuzz.shrink import shrink
 #: engine's namespace); bump if the scheduling scheme ever changes.
 FUZZ_SEED_NAMESPACE = "idld-fuzz-v1"
 
-#: Fuzz checkpoint format version.
-FUZZ_CHECKPOINT_VERSION = 1
+#: Fuzz checkpoint format version this writer produces (v2: CRC-sealed
+#: records + manifest identity hash, same scheme as campaign checkpoints).
+FUZZ_CHECKPOINT_VERSION = 2
+
+#: Versions the loader accepts (v1: pre-CRC files, still resumable).
+FUZZ_SUPPORTED_VERSIONS = (1, 2)
 
 
 def derive_fuzz_seed(master_seed: int, index: int) -> int:
@@ -268,6 +279,9 @@ class _FuzzCheckpoint:
     Every record is flushed (a process kill loses at most the line being
     written); ``fsync=True`` additionally survives hard machine kills at a
     per-record I/O cost — same policy as the campaign CheckpointWriter.
+    Records are CRC-sealed and a sidecar single-writer lock (PID +
+    heartbeat) is held for the writer's lifetime, exactly as for campaign
+    checkpoints.
     """
 
     def __init__(
@@ -276,15 +290,22 @@ class _FuzzCheckpoint:
         manifest: Dict[str, object],
         resume: bool,
         fsync: bool = False,
+        lock: bool = True,
     ):
         self.path = path
         self.fsync = fsync
-        if resume:
-            _truncate_torn_tail(path)
-            self._handle = open(path, "a")
-        else:
-            self._handle = open(path, "w")
-            self._append(manifest)
+        self._lock = CheckpointLock(path).acquire() if lock else None
+        try:
+            if resume:
+                _truncate_torn_tail(path)
+                self._handle = open(path, "a")
+            else:
+                self._handle = open(path, "w")
+                self._append(manifest)
+        except BaseException:
+            if self._lock is not None:
+                self._lock.release()
+            raise
 
     def write(self, result: FuzzResult) -> None:
         self._append(_result_to_record(result))
@@ -300,13 +321,18 @@ class _FuzzCheckpoint:
         )
 
     def _append(self, record: Dict[str, object]) -> None:
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.write(json.dumps(seal_record(record), sort_keys=True) + "\n")
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
+        if self._lock is not None:
+            self._lock.heartbeat()
 
     def close(self) -> None:
         self._handle.close()
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
 
 
 def _fuzz_manifest(
@@ -316,7 +342,7 @@ def _fuzz_manifest(
     config: CoreConfig,
     bug: Optional[BugSpec],
 ) -> Dict[str, object]:
-    return {
+    record = {
         "type": "fuzz-manifest",
         "version": FUZZ_CHECKPOINT_VERSION,
         "seed": seed,
@@ -330,6 +356,8 @@ def _fuzz_manifest(
         "config_digest": config_digest(config),
         "bug": spec_to_dict(bug) if bug is not None else None,
     }
+    record["identity"] = manifest_identity(record)
+    return record
 
 
 def load_fuzz_checkpoint(
@@ -352,36 +380,28 @@ def load_fuzz_checkpoint_full(
     """Load manifest, recorded results and quarantined evaluations.
 
     A later ``eval`` record for an index supersedes its ``eval-failure``
-    record (a retry eventually succeeded)."""
-    with open(path) as handle:
-        lines = handle.read().splitlines()
-    if not lines:
+    record (a retry eventually succeeded). Streams the file line by line,
+    verifying CRCs where present (v2) and reporting interior corruption
+    with line numbers; a torn final line is tolerated."""
+    if os.path.getsize(path) == 0:
         raise CheckpointError(f"{path}: empty fuzz checkpoint file")
-    records: List[Dict[str, object]] = []
-    for lineno, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError:
-            if lineno == len(lines) - 1:
-                break  # torn final line from a killed run
-            raise CheckpointError(f"{path}:{lineno + 1}: corrupt record")
-    if not records:
-        raise CheckpointError(f"{path}: no complete records")
-    manifest = records[0]
-    if manifest.get("type") != "fuzz-manifest":
-        raise CheckpointError(
-            f"{path}: not a fuzz checkpoint (got {manifest.get('type')!r})"
-        )
-    if manifest.get("version") != FUZZ_CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"{path}: unsupported fuzz checkpoint version "
-            f"{manifest.get('version')!r}"
-        )
+    manifest: Optional[Dict[str, object]] = None
     done: Dict[int, FuzzResult] = {}
     failures: Dict[int, TaskFailure] = {}
-    for record in records[1:]:
+    for lineno, record in iter_sealed_records(path):
+        if manifest is None:
+            if record.get("type") != "fuzz-manifest":
+                raise CheckpointError(
+                    f"{path}: not a fuzz checkpoint "
+                    f"(got {record.get('type')!r})"
+                )
+            if record.get("version") not in FUZZ_SUPPORTED_VERSIONS:
+                raise CheckpointError(
+                    f"{path}: unsupported fuzz checkpoint version "
+                    f"{record.get('version')!r}"
+                )
+            manifest = record
+            continue
         kind = record.get("type")
         if kind == "eval":
             result = _result_from_record(record)
@@ -393,7 +413,11 @@ def load_fuzz_checkpoint_full(
                 continue  # a completed eval outranks any failure record
             failures[index] = TaskFailure.from_record(record["failure"])
         else:
-            raise CheckpointError(f"unexpected record type {kind!r}")
+            raise CheckpointError(
+                f"{path}:{lineno}: unexpected record type {kind!r}"
+            )
+    if manifest is None:
+        raise CheckpointError(f"{path}: no complete records")
     return manifest, done, failures
 
 
@@ -583,6 +607,7 @@ def run_fuzz(
     bug: Optional[BugSpec] = None,
     snapshot_interval: int = 0,
     checkpoint_fsync: bool = False,
+    shutdown: Optional[GracefulShutdown] = None,
 ) -> FuzzSummary:
     """Run one coverage-guided differential fuzzing campaign.
 
@@ -609,6 +634,13 @@ def run_fuzz(
             effect on fuzzing throughput or results. It is deliberately
             NOT part of the fuzz manifest identity.
         checkpoint_fsync: ``os.fsync`` every checkpoint record.
+        shutdown: A :class:`~repro.exec.durability.GracefulShutdown`
+            latch; once requested the backend stops dispatching and the
+            driver stops after the current generation. A generation whose
+            evaluations were only partially collected is *not* absorbed
+            into the corpus — its completed records are already
+            checkpointed, so a resume replays the full generation and the
+            schedule evolves exactly as in an uninterrupted run.
 
     Returns:
         The :class:`FuzzSummary` (coverage map, corpus, findings).
@@ -639,6 +671,7 @@ def run_fuzz(
         config=campaign.config,
         runner=run_fuzz_task,
         snapshot_interval=snapshot_interval,
+        shutdown=shutdown,
     )
     expected_manifest = _fuzz_manifest(
         seed, batch, limits, campaign.config, bug
@@ -714,10 +747,25 @@ def run_fuzz(
                         writer.write(outcome)
                 executed += 1
                 emit()
+            interrupted = shutdown is not None and shutdown.requested
+            if interrupted:
+                accounted = sum(
+                    1
+                    for task in tasks
+                    if task.index in results or task.index in quarantined
+                )
+                if accounted < size:
+                    # A partially-collected generation must not feed the
+                    # corpus: its completed records are checkpointed, so a
+                    # resume replays the whole generation and the schedule
+                    # evolves exactly as in an uninterrupted run.
+                    break
             by_index = {task.index: task for task in tasks}
             for i in sorted(results):
                 campaign.absorb(by_index[i], results[i])
             index += size
+            if interrupted:
+                break
     finally:
         if writer is not None:
             writer.close()
