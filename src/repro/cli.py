@@ -393,19 +393,27 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     """The ``repro`` umbrella command: ``repro <subcommand> ...``.
 
     Subcommands: ``campaign`` (the injection campaign, same as the
-    ``idld-campaign`` script), ``fuzz`` (coverage-guided differential
-    fuzzing) and ``checkpoint`` (inspect/verify/repair/merge the JSONL
-    artifacts both engines write). Also reachable without installation as
-    ``python -m repro``.
+    ``idld-campaign`` script), ``sweep`` (the campaign across a design-space
+    matrix of width x free-list discipline x recovery strategy), ``fuzz``
+    (coverage-guided differential fuzzing) and ``checkpoint``
+    (inspect/verify/repair/merge the JSONL artifacts the engines write).
+    Also reachable without installation as ``python -m repro``.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
-    usage = "usage: repro {campaign,fuzz,checkpoint} [options]  (-h for help)"
+    usage = (
+        "usage: repro {campaign,sweep,fuzz,checkpoint} [options]  "
+        "(-h for help)"
+    )
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)
         return 0 if argv else 2
     command, rest = argv[0], argv[1:]
     if command == "campaign":
         return main(rest)
+    if command == "sweep":
+        from repro.sweep import sweep_main
+
+        return sweep_main(rest)
     if command == "fuzz":
         from repro.fuzz.cli import fuzz_main
 

@@ -10,7 +10,9 @@ configuration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 from repro.isa.instructions import NUM_LOGICAL_REGS, Opcode
@@ -23,6 +25,12 @@ DEFAULT_LATENCIES: Dict[Opcode, int] = {
     Opcode.LD: 2,
     Opcode.ST: 1,
 }
+
+#: Free-list disciplines the core can instantiate (see core/rrs/free_list.py).
+FREE_LIST_DISCIPLINES = ("fifo", "stack")
+
+#: Flush-recovery strategies the core can instantiate (see core/recovery.py).
+RECOVERY_STRATEGIES = ("checkpoint", "rob-walk", "checkpoint-free")
 
 
 @dataclass
@@ -77,10 +85,27 @@ class CoreConfig:
     #: IDLD skips the shared identifier; suppressing that signal is itself
     #: an injectable bug the checker must catch.
     zero_idiom_elimination: bool = False
+    #: Free List organization: "fifo" (the paper's circular queue) or
+    #: "stack" (LIFO reuse, as in several real cores). Purely a policy
+    #: axis -- the detectors must work unchanged on either.
+    free_list_discipline: str = "fifo"
+    #: Flush-recovery scheme: "checkpoint" (RAT restore + RHT walks, the
+    #: paper's design), "rob-walk" (unwind squashed ROB entries youngest
+    #: first), or "checkpoint-free" (drain older work, then unwind --
+    #: recovery without the CKPT restore path).
+    recovery_strategy: str = "checkpoint"
 
     def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
         if self.issue_width <= 0:
             self.issue_width = self.width
+        if self.issue_width > self.width:
+            raise ValueError(
+                f"issue_width {self.issue_width} exceeds width {self.width}; "
+                "the scheduler cannot issue more than one rename group per "
+                "cycle (set issue_width=0 to track width)"
+            )
         if self.num_physical_regs <= NUM_LOGICAL_REGS:
             raise ValueError(
                 "need more physical than logical registers "
@@ -92,8 +117,32 @@ class CoreConfig:
             raise ValueError("need at least one checkpoint slot")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be positive")
+        for name in (
+            "issue_queue_entries",
+            "fetch_buffer_entries",
+            "store_queue_entries",
+            "recovery_walk_width",
+            "memory_limit",
+            "predictor_entries",
+            "predictor_history_bits",
+            "deadlock_cycles",
+        ):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
         if self.predictor_kind not in ("gshare", "bimodal"):
             raise ValueError(f"unknown predictor kind {self.predictor_kind!r}")
+        if self.free_list_discipline not in FREE_LIST_DISCIPLINES:
+            raise ValueError(
+                f"unknown free_list_discipline "
+                f"{self.free_list_discipline!r}; "
+                f"choose one of {FREE_LIST_DISCIPLINES}"
+            )
+        if self.recovery_strategy not in RECOVERY_STRATEGIES:
+            raise ValueError(
+                f"unknown recovery_strategy {self.recovery_strategy!r}; "
+                f"choose one of {RECOVERY_STRATEGIES}"
+            )
         # The RHT must be able to hold every in-flight instruction plus the
         # committed-but-unreclaimed tail behind the anchor checkpoint.
         min_rht = self.rob_entries + self.checkpoint_interval
@@ -126,13 +175,74 @@ class CoreConfig:
             return self.num_physical_regs
         return None
 
+    # -- canonical (de)serialization -----------------------------------------
+    #
+    # The single source of truth for a *design point*: task construction,
+    # campaign/fuzz checkpoint manifests, fuzz repro artifacts and the
+    # sweep CLI all round-trip configurations through these two methods.
 
-def paper_rrs_config(width: int = 4) -> CoreConfig:
-    """The exact RRS geometry of the paper's Section VI.A at a given width."""
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize every constructor field as JSON-safe plain data.
+
+        ``latencies`` becomes ``{opcode name: cycles}`` in opcode-name
+        order; ``issue_width`` is emitted resolved (never the 0 sentinel),
+        so a round trip compares equal.
+        """
+        data = {}
+        for spec in fields(self):
+            if spec.name == "latencies":
+                continue
+            data[spec.name] = getattr(self, spec.name)
+        data["latencies"] = {
+            op.value: cycles for op, cycles in sorted(
+                self.latencies.items(), key=lambda item: item[0].value
+            )
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CoreConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Unknown keys are ignored (a newer writer's file still loads) and
+        absent keys fall back to the dataclass defaults (an older file
+        predating an axis loads as that axis's default).
+        """
+        known = {spec.name for spec in fields(cls)}
+        kwargs = {
+            name: value
+            for name, value in data.items()
+            if name in known and name != "latencies"
+        }
+        if data.get("latencies") is not None:
+            kwargs["latencies"] = {
+                Opcode(name): int(cycles)
+                for name, cycles in data["latencies"].items()
+            }
+        return cls(**kwargs)
+
+    def digest(self) -> str:
+        """Stable short hash of the design point (identity checks)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+def paper_rrs_config(
+    width: int = 4,
+    free_list_discipline: str = "fifo",
+    recovery_strategy: str = "checkpoint",
+) -> CoreConfig:
+    """The exact RRS geometry of the paper's Section VI.A at a given width.
+
+    The two policy axes default to the paper's design (FIFO free list,
+    checkpoint-restore recovery); the sweep CLI varies them per cell.
+    """
     return CoreConfig(
         width=width,
         num_physical_regs=128,
         rob_entries=96,
         num_checkpoints=4,
         checkpoint_interval=24,
+        free_list_discipline=free_list_discipline,
+        recovery_strategy=recovery_strategy,
     )

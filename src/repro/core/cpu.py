@@ -8,9 +8,9 @@ The pipeline models exactly the machinery the paper's bug study needs:
 * out-of-order issue/execute over a merged physical register file with real
   values (so rename bugs corrupt dataflow organically, as in Figure 2),
 * in-order commit with Pdst reclamation to the Free List,
-* multi-cycle flush recovery: RAT restore from the closest previous
-  checkpoint, a positive RHT walk to replay renames up to the offender, and
-  a negative RHT walk to return wrong-path PdstIDs to the FL (Section II).
+* multi-cycle flush recovery behind a pluggable strategy
+  (:mod:`repro.core.recovery`): the paper's checkpoint restore + RHT walks
+  by default, with ROB-walk and checkpoint-free schemes as config axes.
 
 Stages are evaluated in reverse pipeline order each cycle so structural
 hazards behave like hardware reading last cycle's state. All RRS port
@@ -31,12 +31,12 @@ from repro.core.errors import (
     DeadlineExceeded,
     DeadlockError,
     MemoryFault,
-    SimulatorAssertion,
 )
 from repro.core.lsq import DataMemory, StoreQueue
+from repro.core.recovery import make_recovery_strategy
 from repro.core.regfile import PhysicalRegisterFile
 from repro.core.rrs.checkpoint import CheckpointTable
-from repro.core.rrs.free_list import FreeList
+from repro.core.rrs.free_list import make_free_list
 from repro.core.rrs.ports import RRSObserver, listeners
 from repro.core.rrs.rat import RegisterAliasTable
 from repro.core.rrs.rht import RegisterHistoryTable
@@ -74,19 +74,6 @@ class RunResult:
     @property
     def committed(self) -> int:
         return len(self.commit_pcs)
-
-
-@dataclass
-class _Recovery:
-    """In-progress flush recovery state (Section II / V.C flows)."""
-
-    offender_seq: int
-    redirect_pc: int
-    pos_ptr: int
-    pos_end: int  # exclusive
-    neg_ptr: int
-    neg_end: int  # exclusive lower bound (walk runs neg_ptr down to neg_end)
-    new_rht_tail: int
 
 
 class OoOCore:
@@ -129,9 +116,9 @@ class OoOCore:
                 "RAT": ParityStore("RAT"),
                 "ROB": ParityStore("ROB"),
             }
-        self.free_list = FreeList(
-            cfg.free_list_entries, self.fabric, self.observers,
-            parity=self.parity.get("FL"),
+        self.free_list = make_free_list(
+            cfg.free_list_discipline, cfg.free_list_entries, self.fabric,
+            self.observers, parity=self.parity.get("FL"),
         )
         self.rat = RegisterAliasTable(
             NUM_LOGICAL_REGS, self.fabric, self.observers,
@@ -155,6 +142,9 @@ class OoOCore:
             )
         else:
             self.predictor = BimodalPredictor(cfg.predictor_entries)
+        self.recovery_strategy = make_recovery_strategy(
+            cfg.recovery_strategy, self
+        )
         self.reset()
 
     # -- lifecycle -------------------------------------------------------------
@@ -192,7 +182,8 @@ class OoOCore:
         # stage until the pdst is written; skipping is behavior-identical
         # because a source-blocked issue attempt has no side effects.
         self._wakeups: Dict[int, List[Uop]] = {}
-        self.recovery: Optional[_Recovery] = None
+        #: In-progress recovery state; shape is strategy-specific.
+        self.recovery = None
         self.allocs_since_checkpoint = 0
         self.output: List[int] = []
         self.commit_pcs: List[int] = []
@@ -274,7 +265,7 @@ class OoOCore:
         self.cycle = cycle
         self.fabric.cycle = cycle
         if self.recovery is not None:
-            self._recovery_step()
+            self.recovery_strategy.step()
             self.stats["recovery_cycles"] += 1
             self.last_progress_cycle = cycle
         else:
@@ -298,13 +289,18 @@ class OoOCore:
 
     # -- commit -------------------------------------------------------------------
 
-    def _commit_stage(self) -> None:
+    def _commit_stage(self, blocked: Optional[set] = None) -> None:
         for _ in range(self.config.width):
             slot = self.rob.head_slot
             if slot is None:
                 break
             uop: Uop = slot.uop
             if uop is None or uop.state is not UopState.DONE:
+                break
+            if blocked is not None and id(uop) in blocked:
+                # Checkpoint-free drain: stop at a resolved mispredict whose
+                # own flush is still pending -- the work behind it is
+                # wrong-path and must never commit.
                 break
             inst = uop.inst
             if uop.fault is not None:
@@ -412,62 +408,8 @@ class OoOCore:
         for hook in self._on_flush_initiated:
             hook(self.cycle, f_seq, squashed)
         self.store_queue.squash_after(f_seq)
-        self.rob.squash_after(f_seq)
-        # Select and restore the closest previous checkpoint.
-        ckpt = self.ckpt.select_for(f_seq)
-        if ckpt is None:
-            raise SimulatorAssertion(
-                self.cycle, "no checkpoint available for recovery"
-            )
-        if self.rat.restore(ckpt.rat_image):
-            for hook in self._on_checkpoint_restored:
-                hook(ckpt.index)
-        self.ckpt.free_younger_than(f_seq + 1)
-        pos_start = ckpt.rht_pos
-        pos_end = ckpt.rht_pos + (f_seq - ckpt.pos) + 1  # exclusive
-        neg_end = pos_end  # exclusive lower bound for the negative walk
-        self.recovery = _Recovery(
-            offender_seq=f_seq,
-            redirect_pc=offender.actual_target,
-            pos_ptr=pos_start,
-            pos_end=pos_end,
-            neg_ptr=rht_tail_at_flush - 1,
-            neg_end=neg_end,
-            new_rht_tail=pos_end,
-        )
-
-    def _recovery_step(self) -> None:
-        rec = self.recovery
-        steps = self.config.recovery_walk_width
-        while steps > 0 and rec.pos_ptr < rec.pos_end:
-            entry = self.rht.read_slot(rec.pos_ptr)
-            if entry.has_dest:
-                if entry.new_pdst == self.zero_pdst and self.zero_pdst is not None:
-                    self.rat.write_zero_idiom(entry.ldst)
-                else:
-                    self.rat.write(entry.ldst, entry.new_pdst)
-            if self.rht.walk_advance():
-                rec.pos_ptr += 1
-            steps -= 1
-        while steps > 0 and rec.neg_ptr >= rec.neg_end:
-            entry = self.rht.read_slot(rec.neg_ptr)
-            if entry.has_dest and entry.new_pdst != self.zero_pdst:
-                self.free_list.push(entry.new_pdst)
-            if self.rht.walk_advance():
-                rec.neg_ptr -= 1
-            steps -= 1
-        if rec.pos_ptr >= rec.pos_end and rec.neg_ptr < rec.neg_end:
-            self._finish_recovery()
-
-    def _finish_recovery(self) -> None:
-        rec = self.recovery
-        self.rht.restore_tail(rec.new_rht_tail)
-        self.fetch_pc = rec.redirect_pc
-        self.fetch_stalled = not (0 <= self.fetch_pc < len(self.program))
-        self.allocs_since_checkpoint = 0
-        self.recovery = None
-        for hook in self._on_recovery_end:
-            hook(self.cycle)
+        # Everything from the ROB squash onward is scheme-specific.
+        self.recovery_strategy.begin(offender, f_seq, rht_tail_at_flush)
 
     # -- issue / execute entry -----------------------------------------------------------------
 
@@ -766,11 +708,7 @@ class OoOCore:
         executing = tuple((finish, ref(u)) for finish, u in self.executing)
         pending_flushes = tuple(ref(u) for u in self.pending_flushes)
         rob = self.rob.save_state(ref)
-        rec = self.recovery
-        recovery = None if rec is None else (
-            rec.offender_seq, rec.redirect_pc, rec.pos_ptr, rec.pos_end,
-            rec.neg_ptr, rec.neg_end, rec.new_rht_tail,
-        )
+        recovery = self.recovery_strategy.save_recovery()
         if light_trace:
             trace = (len(self.output), len(self.commit_pcs))
         else:
@@ -847,8 +785,7 @@ class OoOCore:
         # retries once (a no-side-effect failure) and re-blocks, so the
         # scoreboard never needs to be part of the snapshot.
         self._wakeups = {}
-        rec = state["recovery"]
-        self.recovery = None if rec is None else _Recovery(*rec)
+        self.recovery = self.recovery_strategy.load_recovery(state["recovery"])
         if state["light_trace"]:
             if trace_source is None:
                 raise ValueError(

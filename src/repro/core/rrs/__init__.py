@@ -1,7 +1,12 @@
 """Register Renaming Subsystem arrays and control signals (Figure 1)."""
 
 from repro.core.rrs.checkpoint import CheckpointSlot, CheckpointTable
-from repro.core.rrs.free_list import FreeList
+from repro.core.rrs.free_list import (
+    FifoFreeList,
+    FreeList,
+    StackFreeList,
+    make_free_list,
+)
 from repro.core.rrs.ports import RRSObserver
 from repro.core.rrs.rat import RegisterAliasTable
 from repro.core.rrs.rht import RegisterHistoryTable, RHTEntry
@@ -26,6 +31,7 @@ __all__ = [
     "CheckpointTable",
     "DUPLICATION_SIGNALS",
     "EXTENDED_SIGNALS",
+    "FifoFreeList",
     "FreeList",
     "LEAKAGE_SIGNALS",
     "RHTEntry",
@@ -36,5 +42,7 @@ __all__ = [
     "ReorderBuffer",
     "SignalFabric",
     "SignalKind",
+    "StackFreeList",
     "TABLE_I",
+    "make_free_list",
 ]

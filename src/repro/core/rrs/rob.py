@@ -84,12 +84,16 @@ class ReorderBuffer:
         #: Reclaim read pointer; equals ``_head`` unless a read-enable bug
         #: left it lagging.
         self._read_ptr = 0
+        #: Output latch of the recovery-walk read port (ROB-walk recovery
+        #: strategies); holds the last identifier the port delivered.
+        self._walk_bus = 0
 
     def reset(self) -> None:
         self._slots = [ROBSlot() for _ in range(self.capacity)]
         self._head = 0
         self._tail = 0
         self._read_ptr = 0
+        self._walk_bus = 0
         if self._parity is not None:
             self._parity.reset()
 
@@ -196,6 +200,23 @@ class ReorderBuffer:
 
     # -- flush recovery -------------------------------------------------------------
 
+    def walk_read_pdst(self, pdst: int, seq: int) -> int:
+        """One gated read of a squashed entry's PdstID field during a
+        ROB-walk recovery flow.
+
+        Data flows from the addressed field through the reclaim read port:
+        an asserted read enable latches the value onto the walk bus and
+        emits the observer event; a suppressed enable leaves the latch
+        holding the *previously* delivered identifier, so the walk consumes
+        a stale value -- and the missing XOR fold leaves the code nonzero
+        at recovery end. Returns the bus value the walk must use.
+        """
+        if self._fabric.asserted(ArrayName.ROB, SignalKind.READ_ENABLE):
+            self._walk_bus = pdst
+            for hook in self._on_pdst_read:
+                hook(pdst, seq)
+        return self._walk_bus
+
     def squash_after(self, offender_seq: int) -> bool:
         """Move the write pointer back to ``offender_seq + 1`` (Table I).
 
@@ -282,15 +303,16 @@ class ReorderBuffer:
             )
             for index, slot in enumerate(self._slots)
         )
-        return (head, tail, self._read_ptr, slots)
+        return (head, tail, self._read_ptr, slots, self._walk_bus)
 
     def load_state(self, state: tuple, uops: Sequence[object]) -> None:
         """Restore a :meth:`save_state` snapshot; ``uops`` resolves the
         interned uop references recorded at capture time."""
-        head, tail, read_ptr, slots = state
+        head, tail, read_ptr, slots = state[:4]
         self._head = head
         self._tail = tail
         self._read_ptr = read_ptr
+        self._walk_bus = state[4] if len(state) > 4 else 0
         for slot, (seq, has_dest, evicted_pdst, new_pdst, ref) in zip(
             self._slots, slots
         ):

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, IO, List, Optional, Tuple
+from typing import Dict, IO, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.analysis.outcomes import OutcomeClass
 from repro.bugs.campaign import InjectionResult
@@ -47,6 +47,9 @@ from repro.exec.durability import (
 )
 from repro.exec.resilience import TaskFailure, TaskFailureRecord
 from repro.exec.tasks import InjectionTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import CoreConfig
 
 #: Checkpoint format version this writer produces.
 FORMAT_VERSION = 2
@@ -74,6 +77,11 @@ class Manifest:
     benchmarks: List[str]
     max_attempts: int
     goldens: Dict[str, GoldenSummary]
+    #: Serialized CoreConfig (CoreConfig.to_dict()) the campaign ran at,
+    #: or None for the default design point / files predating this field.
+    #: Part of the manifest identity: resume and merge refuse to mix
+    #: results produced on different core geometries.
+    design_point: Optional[Dict[str, object]] = None
 
     def to_record(self) -> Dict[str, object]:
         record = {
@@ -89,6 +97,8 @@ class Manifest:
                 for name, g in self.goldens.items()
             },
         }
+        if self.design_point is not None:
+            record["design_point"] = self.design_point
         record["identity"] = manifest_identity(record)
         return record
 
@@ -116,6 +126,9 @@ class Manifest:
                 name: GoldenSummary(entry["cycles"], entry["committed"])
                 for name, entry in record["goldens"].items()
             },
+            # Absent in files written before design points existed (and in
+            # default-config campaigns, whose manifests stay byte-stable).
+            design_point=record.get("design_point"),
         )
 
 
@@ -356,6 +369,7 @@ def manifest_for(
     benchmarks: List[str],
     max_attempts: int,
     goldens: Dict[str, RunResult],
+    config: Optional["CoreConfig"] = None,
 ) -> Manifest:
     return Manifest(
         seed=seed,
@@ -367,4 +381,5 @@ def manifest_for(
             name: GoldenSummary(g.cycles, g.committed)
             for name, g in goldens.items()
         },
+        design_point=None if config is None else config.to_dict(),
     )

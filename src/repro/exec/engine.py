@@ -43,20 +43,28 @@ from repro.exec.tasks import generate_tasks
 from repro.isa.program import Program
 
 
-def _verify_manifest(manifest, seed, runs_per_model, models, benchmarks, path):
+def _verify_manifest(
+    manifest, seed, runs_per_model, models, benchmarks, path, config=None
+):
     expected = {
         "seed": seed,
         "runs_per_model": runs_per_model,
         "models": [m.value for m in models],
         "benchmarks": list(benchmarks),
+        "design_point": None if config is None else config.to_dict(),
     }
     actual = {
         "seed": manifest.seed,
         "runs_per_model": manifest.runs_per_model,
         "models": manifest.models,
         "benchmarks": manifest.benchmarks,
+        "design_point": manifest.design_point,
     }
     for key in expected:
+        if key == "design_point" and actual[key] is None:
+            # Files written before design points existed (or by a
+            # default-config campaign) carry no record; nothing to check.
+            continue
         if expected[key] != actual[key]:
             raise CheckpointError(
                 f"{path}: checkpoint {key}={actual[key]!r} does not match "
@@ -123,7 +131,8 @@ def run_engine(
     if resume and checkpoint_path is None:
         raise ValueError("resume=True requires checkpoint_path")
     tasks = generate_tasks(
-        list(programs), runs_per_model, models, seed, max_attempts
+        list(programs), runs_per_model, models, seed, max_attempts,
+        config=config,
     )
     backend = backend if backend is not None else SerialBackend()
     context = ExecutionContext(
@@ -142,7 +151,7 @@ def run_engine(
         manifest, done, quarantined = load_checkpoint_full(checkpoint_path)
         _verify_manifest(
             manifest, seed, runs_per_model, models, list(programs),
-            checkpoint_path,
+            checkpoint_path, config=config,
         )
         by_key = {task.key: task for task in tasks}
         for key, (index, result) in done.items():
@@ -156,7 +165,8 @@ def run_engine(
     writer: Optional[CheckpointWriter] = None
     if checkpoint_path is not None:
         manifest = manifest_for(
-            seed, runs_per_model, models, list(programs), max_attempts, goldens
+            seed, runs_per_model, models, list(programs), max_attempts,
+            goldens, config=config,
         )
         writer = CheckpointWriter(
             checkpoint_path, manifest, resume=resume, fsync=checkpoint_fsync

@@ -27,7 +27,6 @@ from repro.fuzz.genome import (
     genome_to_dict,
 )
 from repro.fuzz.oracle import OracleReport, evaluate
-from repro.isa.instructions import Opcode
 
 #: Artifact format identity; readers reject anything else.
 ARTIFACT_FORMAT = "idld-fuzz-repro"
@@ -39,50 +38,25 @@ class ArtifactError(RuntimeError):
 
 
 # -- config (de)serialization ------------------------------------------------
-
-_CONFIG_FIELDS = (
-    "width",
-    "issue_width",
-    "num_physical_regs",
-    "rob_entries",
-    "num_checkpoints",
-    "checkpoint_interval",
-    "issue_queue_entries",
-    "fetch_buffer_entries",
-    "store_queue_entries",
-    "recovery_walk_width",
-    "memory_limit",
-    "predictor_kind",
-    "predictor_entries",
-    "predictor_history_bits",
-    "deadlock_cycles",
-    "zero_idiom_elimination",
-)
+#
+# Thin delegates kept for existing imports: the canonical serialization is
+# CoreConfig.to_dict/from_dict/digest (core/config.py), so artifacts, the
+# campaign manifests and the sweep CLI can never drift apart on what a
+# "design point" means. New config axes join artifacts automatically, and
+# old artifact files (written before an axis existed) load as its default.
 
 
 def config_to_dict(config: CoreConfig) -> Dict[str, object]:
-    data = {name: getattr(config, name) for name in _CONFIG_FIELDS}
-    data["latencies"] = {
-        op.value: cycles for op, cycles in sorted(
-            config.latencies.items(), key=lambda item: item[0].value
-        )
-    }
-    return data
+    return config.to_dict()
 
 
 def config_from_dict(data: Dict[str, object]) -> CoreConfig:
-    kwargs = {name: data[name] for name in _CONFIG_FIELDS if name in data}
-    if "latencies" in data:
-        kwargs["latencies"] = {
-            Opcode(name): cycles for name, cycles in data["latencies"].items()
-        }
-    return CoreConfig(**kwargs)
+    return CoreConfig.from_dict(data)
 
 
 def config_digest(config: CoreConfig) -> str:
     """Stable digest of a configuration (checkpoint identity checks)."""
-    payload = json.dumps(config_to_dict(config), sort_keys=True)
-    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+    return config.digest()
 
 
 # -- the artifact ------------------------------------------------------------
