@@ -5,8 +5,10 @@ Measures the two throughput numbers the campaign engine lives on:
 * **golden cycles/s** — raw simulator speed on each suite benchmark, and
 * **injections/s** — end-to-end injection throughput, cold (every run from
   power-on) versus warm-started from the snapshot provider
-  (:mod:`repro.bugs.snapshot`), with the one-time provider construction
-  cost reported separately.
+  (:mod:`repro.bugs.snapshot`) versus differential (warm start plus
+  activation forecasting and convergence-terminated suffixes,
+  :mod:`repro.bugs.differential`), with the one-time provider
+  construction cost reported separately.
 
 Every invocation appends one entry to ``BENCH_core.json`` at the output
 path (default: repo root), so the file accumulates a performance
@@ -132,6 +134,27 @@ def bench_benchmark(
             f"{name}: warm-started results differ from cold results"
         )
 
+    started = time.perf_counter()
+    diff_provider = SnapshotProvider(
+        program, interval, config=config, differential=True
+    )
+    diff_provider_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    diff = [
+        execute_task(
+            t, program, golden, config,
+            snapshots=diff_provider, differential=True,
+        )
+        for t in tasks
+    ]
+    diff_wall = time.perf_counter() - started
+
+    if cold != diff:
+        raise AssertionError(
+            f"{name}: differential results differ from cold results"
+        )
+
     injections = len(tasks)
     entry["injections"] = injections
     entry["cold_wall_s"] = cold_wall
@@ -141,6 +164,13 @@ def bench_benchmark(
     entry["speedup"] = cold_wall / warm_wall if warm_wall > 0 else 0.0
     entry["warm_cycles_skipped"] = sum(
         r.warm_start_cycles_skipped for r in warm
+    )
+    entry["diff_provider_wall_s"] = diff_provider_wall
+    entry["diff_wall_s"] = diff_wall
+    entry["diff_inj_per_s"] = injections / diff_wall if diff_wall > 0 else 0.0
+    entry["diff_speedup"] = cold_wall / diff_wall if diff_wall > 0 else 0.0
+    entry["diff_early_terminated"] = sum(
+        1 for r in diff if r.early_terminated_cycle is not None
     )
     return entry
 
@@ -189,15 +219,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{name:>14}: golden {b['golden_cycles_per_s']:>9.0f} cyc/s | "
             f"cold {b['cold_inj_per_s']:6.2f} inj/s | "
             f"warm {b['warm_inj_per_s']:6.2f} inj/s | "
-            f"speedup {b['speedup']:.2f}x "
+            f"diff {b['diff_inj_per_s']:6.2f} inj/s | "
+            f"speedup {b['speedup']:.2f}x/{b['diff_speedup']:.2f}x "
             f"(provider {b['provider_wall_s']:.2f}s, "
-            f"{b['provider_snapshots']} snaps)",
+            f"{b['provider_snapshots']} snaps, "
+            f"{b['diff_early_terminated']}/{b['injections']} early)",
             file=sys.stderr,
         )
 
     total_inj = sum(b["injections"] for b in per_benchmark.values())
     cold_wall = sum(b["cold_wall_s"] for b in per_benchmark.values())
     warm_wall = sum(b["warm_wall_s"] for b in per_benchmark.values())
+    diff_wall = sum(b["diff_wall_s"] for b in per_benchmark.values())
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "seed": args.seed,
@@ -212,12 +245,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             "warm_wall_s": warm_wall,
             "warm_inj_per_s": total_inj / warm_wall if warm_wall > 0 else 0.0,
             "speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+            "diff_wall_s": diff_wall,
+            "diff_inj_per_s": total_inj / diff_wall if diff_wall > 0 else 0.0,
+            "diff_speedup": cold_wall / diff_wall if diff_wall > 0 else 0.0,
         },
     }
     append_entry(args.output, entry)
     print(json.dumps(entry, indent=2, sort_keys=True))
     print(
-        f"aggregate speedup: {entry['aggregate']['speedup']:.2f}x "
+        f"aggregate speedup: warm {entry['aggregate']['speedup']:.2f}x, "
+        f"differential {entry['aggregate']['diff_speedup']:.2f}x "
         f"({total_inj} injections; appended to {args.output})",
         file=sys.stderr,
     )

@@ -1,0 +1,231 @@
+"""Differential suffix execution: delta traces + convergence termination.
+
+Warm starting (PR 3) removed the bug-free *prefix* of every injection run;
+the suffix — everything after the fault fires — was still simulated to
+completion even though the overwhelming majority of injections are Benign
+or Masked and spend most of that suffix bit-identical to the golden run.
+This module removes the redundant suffix too, DejaVuzz-style, by running
+the variant *differentially* against the golden run:
+
+1. **Golden delta trace.** The provider's instrumented golden run uses a
+   :class:`RecordingFabric` that logs, per control signal, every cycle the
+   signal was consulted (and every RAT-write data-path traversal). Because
+   a variant is cycle-identical to the golden run until its armed one-shot
+   bug first *fires*, and a suppression/corruption armed at cycle ``c``
+   fires at the signal's first use at or after ``c``, the golden consult
+   log predicts the exact activation cycle of any spec — before simulating
+   a single variant cycle (:meth:`DeltaTrace.first_perturbation`).
+
+2. **Activation forecasting.** A spec whose signal is never consulted at
+   or after its inject cycle never perturbs the machine at all: the run
+   *is* the golden run, and its result is spliced from golden facts with
+   zero simulation. A spec that does fire at cycle ``F`` restores the
+   nearest snapshot before ``F`` (not before the earlier ``inject_cycle``),
+   skipping the armed-but-inert gap as well.
+
+3. **Convergence-terminated suffixes.** After the fault fires, the variant
+   is compared against the golden trace at every snapshot cycle: first a
+   cheap :meth:`~repro.core.cpu.OoOCore.fingerprint` probe, then — only on
+   a fingerprint hit — full structural state equality (:func:`converged`).
+   The moment the machine state, the commit/output traces, and the
+   detectors' *tracking* state are all back on the golden trajectory with
+   no perturbation still pending, every future cycle is determined to be
+   golden, so the run is classified immediately (Benign, golden final
+   cycle, golden persistence) without simulating the rest.
+
+Soundness of the convergence predicate (see EXPERIMENTS.md):
+
+* ``fabric.any_armed`` must be False: an unfired bug can still perturb any
+  future cycle, so no early exit while anything is pending.
+* Core state equality is *structural* over the complete
+  :meth:`~repro.core.cpu.OoOCore.save_state` dict (minus ``stats``, which
+  holds monotonic counters that do not influence future behavior or the
+  classification), plus content equality of the output/commit traces
+  against the golden prefixes (light-trace snapshots store lengths only).
+  Dormant divergence — e.g. an at-rest free-list upset that will only be
+  consumed hundreds of cycles later — lives in the compared state, so a
+  dormant run can never be declared converged.
+* Detector state is compared on its *tracking* projection only
+  (``tracking_of``): XOR codes, bit vectors, counters, mirrors — not the
+  recorded detections. A run whose detector fired and then recovered can
+  converge; its detections are already recorded and are carried into the
+  result unchanged.
+
+The deep compare is the expensive path, so a failed deep compare backs off
+exponentially (the fingerprint probe keeps running every candidate cycle);
+this only delays termination and never affects the classification.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.bugs.models import BugModel, BugSpec
+from repro.core.rrs.signals import ArrayName, SignalFabric, SignalKind
+from repro.idld.bitvector import BitVectorScheme
+from repro.idld.checker import IDLDChecker
+from repro.idld.counter import CounterScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bugs.snapshot import SnapshotProvider
+    from repro.core.cpu import OoOCore
+
+
+class RecordingFabric(SignalFabric):
+    """A signal fabric that additionally logs consultation cycles.
+
+    Used only for the provider's golden run (nothing armed, behavior
+    identical to a plain fabric). Logs are compact ``array('l')`` columns,
+    deduplicated per cycle — the forecast only needs the first consult of a
+    (array, kind) pair in a given cycle, which is exactly the consult that
+    would fire a one-shot suppression.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.consults: Dict[Tuple[ArrayName, SignalKind], array] = {}
+        self.pdst_writes: array = array("l")
+
+    def asserted(self, arr: ArrayName, kind: SignalKind) -> bool:
+        log = self.consults.get((arr, kind))
+        if log is None:
+            log = self.consults[(arr, kind)] = array("l")
+        if not log or log[-1] != self.cycle:
+            log.append(self.cycle)
+        return super().asserted(arr, kind)
+
+    def corrupt_pdst(self, value: int) -> int:
+        log = self.pdst_writes
+        if not log or log[-1] != self.cycle:
+            log.append(self.cycle)
+        return super().corrupt_pdst(value)
+
+
+class DeltaTrace:
+    """Golden-run facts the differential mode replays instead of simulating.
+
+    Attributes:
+        consults: Per-(array, kind) sorted cycles the signal was consulted.
+        pdst_writes: Sorted cycles the RAT-write data path carried a PdstID.
+        fingerprints: Snapshot cycle -> the golden core's fingerprint there.
+        golden_persists: The golden run's own persistence probe
+            (``not census_is_clean()`` at HALT) — what any run that follows
+            the golden trajectory to completion would measure.
+        clean: True when the golden run halted with every detector silent;
+            differential shortcuts are only taken for clean goldens (in
+            practice goldens are always clean — this is a guard, not a
+            policy).
+    """
+
+    __slots__ = (
+        "consults",
+        "pdst_writes",
+        "fingerprints",
+        "golden_persists",
+        "clean",
+    )
+
+    def __init__(
+        self,
+        consults: Dict[Tuple[ArrayName, SignalKind], array],
+        pdst_writes: array,
+        fingerprints: Dict[int, tuple],
+        golden_persists: bool,
+        clean: bool,
+    ) -> None:
+        self.consults = consults
+        self.pdst_writes = pdst_writes
+        self.fingerprints = fingerprints
+        self.golden_persists = golden_persists
+        self.clean = clean
+
+    def first_perturbation(self, spec: BugSpec) -> Optional[int]:
+        """The exact cycle ``spec`` would fire, or None if it never does.
+
+        A variant is cycle-identical to the golden run until its one-shot
+        bug fires, so the golden consult log *is* the variant's consult log
+        up to that point: the first golden consult of the spec's signal at
+        or after ``inject_cycle`` is the variant's activation cycle.
+        """
+        if spec.model is BugModel.PDST_CORRUPTION:
+            log = self.pdst_writes
+        else:
+            log = self.consults.get((spec.array, spec.kind))
+            if log is None:
+                return None
+        pos = bisect_left(log, spec.inject_cycle)
+        if pos >= len(log):
+            return None
+        return log[pos]
+
+
+#: Per-detector tracking projections, in canonical attach order. Each maps
+#: a detector ``save_state()`` tuple onto the components that influence
+#: *future* observations — excluding the already-recorded detections, which
+#: are results, not state the machine evolves on.
+_TRACKING = (
+    IDLDChecker.tracking_of,
+    BitVectorScheme.tracking_of,
+    CounterScheme.tracking_of,
+)
+
+
+def converged(
+    provider: "SnapshotProvider",
+    core: "OoOCore",
+    detectors: Tuple[IDLDChecker, BitVectorScheme, CounterScheme],
+    fabric: SignalFabric,
+    cycle: int,
+) -> bool:
+    """The convergence predicate: may this variant terminate at ``cycle``?
+
+    True only when *every* future cycle of the variant is provably the
+    golden run's: nothing armed is still pending, and the variant's
+    complete machine state — core structural state, output/commit trace
+    contents, and detector tracking state — equals the golden run's
+    snapshot at the same cycle. ``cycle`` must be a snapshot cycle of the
+    (differential) provider; any other cycle is simply not a candidate.
+    """
+    if fabric.any_armed:
+        return False
+    delta = provider.delta
+    if delta is None:
+        return False
+    reference = delta.fingerprints.get(cycle)
+    if reference is None or core.fingerprint() != reference:
+        return False
+    snapshot = provider.at(cycle)
+    if snapshot is None:
+        return False
+    state = core.save_state(light_trace=True)
+    golden_state = snapshot.core_state
+    for key, value in state.items():
+        if key != "stats" and value != golden_state[key]:
+            return False
+    # Light-trace states carry prefix *lengths*; equal lengths do not imply
+    # equal contents (an SDC-in-progress can have committed the same number
+    # of instructions with different values), so compare the actual traces
+    # against the golden prefixes.
+    out_len, committed = state["trace"]
+    golden = provider.golden
+    if core.output != golden.output[:out_len]:
+        return False
+    if core.commit_pcs != golden.commit_pcs[:committed]:
+        return False
+    if core.commit_cycles != golden.commit_cycles[:committed]:
+        return False
+    for detector, reference_state, tracking in zip(
+        detectors, snapshot.detector_states, _TRACKING
+    ):
+        if tracking(detector.save_state()) != tracking(reference_state):
+            # A detector whose tracking state desynced permanently (e.g. a
+            # leaked ID stuck in the IDLD XOR code while the machine itself
+            # recovered) only matters while its first detection is still
+            # pending: detectors are pure observers, and the result records
+            # first-detection cycles only. Once it has detected, its future
+            # cannot change the classification.
+            if detector.first_detection_cycle is None:
+                return False
+    return True

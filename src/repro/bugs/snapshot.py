@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import time
 from bisect import bisect_right
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.bugs.differential import DeltaTrace, RecordingFabric
 from repro.core.config import CoreConfig
 from repro.core.cpu import OoOCore, RunResult
 from repro.core.errors import DeadlockError
@@ -67,6 +68,9 @@ class SnapshotProvider:
             bit-identical to :func:`repro.bugs.campaign.run_golden` because
             the detectors are pure observers.
         interval: Capture period in cycles (must be >= 1).
+        delta: The golden :class:`~repro.bugs.differential.DeltaTrace`
+            (consult log, per-snapshot fingerprints, persistence) when
+            built with ``differential=True``; None otherwise.
     """
 
     def __init__(
@@ -75,15 +79,21 @@ class SnapshotProvider:
         interval: int,
         config: Optional[CoreConfig] = None,
         max_cycles: int = 2_000_000,
+        differential: bool = False,
     ) -> None:
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
         self.program = program
         self.interval = interval
         self.config = config
+        self.differential = differential
         detectors = make_detectors()
-        core = OoOCore(program, config=config, observers=list(detectors))
+        fabric = RecordingFabric() if differential else None
+        core = OoOCore(
+            program, config=config, observers=list(detectors), fabric=fabric
+        )
         snapshots: List[CoreSnapshot] = []
+        fingerprints: Dict[int, tuple] = {}
         deadlock = core.config.deadlock_cycles
         started = time.perf_counter_ns()
         while not core.halted and core.cycle < max_cycles:
@@ -98,6 +108,8 @@ class SnapshotProvider:
                         tuple(d.save_state() for d in detectors),
                     )
                 )
+                if differential:
+                    fingerprints[core.cycle] = core.fingerprint()
         self.golden = core.result()
         if not self.golden.halted:
             raise RuntimeError(
@@ -107,17 +119,39 @@ class SnapshotProvider:
         # golden is interchangeable with a plain one.
         self.golden.stats["sim_wall_ns"] = time.perf_counter_ns() - started
         self.golden.stats["warm_start_cycles_skipped"] = 0
-        # Injection cycles are drawn from [1, max(2, 0.9 * golden cycles)]
-        # (see repro.bugs.injector.draw_spec) and a snapshot at cycle c only
-        # serves injections strictly after c, so anything captured past the
-        # draw window can never be used.
-        window = max(2, int(self.golden.cycles * 0.9))
-        self._snapshots = [s for s in snapshots if s.cycle <= window - 1]
+        self.delta: Optional[DeltaTrace] = None
+        if differential:
+            # Differential mode needs the whole snapshot timeline: the
+            # forecast restore point and the convergence candidates both
+            # live past the injection-draw window.
+            self._snapshots = snapshots
+            self.delta = DeltaTrace(
+                consults=fabric.consults,
+                pdst_writes=fabric.pdst_writes,
+                fingerprints=fingerprints,
+                golden_persists=not core.census_is_clean(),
+                clean=all(
+                    d.first_detection_cycle is None for d in detectors
+                ),
+            )
+        else:
+            # Injection cycles are drawn from [1, max(2, 0.9 * golden
+            # cycles)] (see repro.bugs.injector.draw_spec) and a snapshot
+            # at cycle c only serves injections strictly after c, so
+            # anything captured past the draw window can never be used.
+            window = max(2, int(self.golden.cycles * 0.9))
+            self._snapshots = [s for s in snapshots if s.cycle <= window - 1]
         self._cycles = [s.cycle for s in self._snapshots]
+        self._by_cycle = {s.cycle: s for s in self._snapshots}
 
     @property
     def count(self) -> int:
         return len(self._snapshots)
+
+    @property
+    def candidate_cycles(self) -> List[int]:
+        """All snapshot cycles, ascending — the convergence-check points."""
+        return self._cycles
 
     def nearest(self, cycle: int) -> Optional[CoreSnapshot]:
         """The latest snapshot taken at or before ``cycle``, if any."""
@@ -125,6 +159,10 @@ class SnapshotProvider:
         if pos == 0:
             return None
         return self._snapshots[pos - 1]
+
+    def at(self, cycle: int) -> Optional[CoreSnapshot]:
+        """The snapshot taken at exactly ``cycle``, if any."""
+        return self._by_cycle.get(cycle)
 
     def restore_into(
         self,

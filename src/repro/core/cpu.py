@@ -53,6 +53,15 @@ from repro.isa.program import Program
 from repro.isa.semantics import branch_taken, execute_op
 
 
+def _zero_idiom(inst: Instruction) -> bool:
+    """Zero idioms renameable to the shared zero register (V.E)."""
+    if inst.opcode is Opcode.LI and inst.imm == 0:
+        return True
+    return (
+        inst.opcode in (Opcode.XOR, Opcode.SUB) and inst.rs1 == inst.rs2
+    )
+
+
 @dataclass
 class RunResult:
     """Outcome of a (possibly truncated) simulation.
@@ -145,6 +154,20 @@ class OoOCore:
         self.recovery_strategy = make_recovery_strategy(
             cfg.recovery_strategy, self
         )
+        # Static per-PC decode tables. Latency, issue-queue occupancy and
+        # the zero-idiom test depend only on the instruction, yet rename
+        # and issue consulted them for every uop; indexing by PC takes the
+        # enum hashing and attribute chains off the per-cycle path.
+        instructions = program.instructions
+        self._latency_of = tuple(
+            cfg.latencies.get(inst.opcode, 1) for inst in instructions
+        )
+        self._needs_queue = tuple(
+            self._needs_issue_queue(inst) for inst in instructions
+        )
+        self._zero_idiom_of = tuple(
+            _zero_idiom(inst) for inst in instructions
+        )
         self.reset()
 
     # -- lifecycle -------------------------------------------------------------
@@ -232,8 +255,29 @@ class OoOCore:
             DeadlineExceeded: The harness wall-clock budget expired (a
                 resource-policy event, never a simulated-bug outcome).
         """
-        started = time.monotonic()
-        while not self.halted and self.cycle < max_cycles:
+        self.run_cycles(max_cycles, deadline=deadline)
+        return self.result()
+
+    def run_cycles(
+        self,
+        until_cycle: int,
+        deadline: Optional[float] = None,
+        started: Optional[float] = None,
+    ) -> float:
+        """Advance until ``self.cycle >= until_cycle`` or HALT commits.
+
+        The stepping loop of :meth:`run` (same deadlock and cooperative
+        deadline checks) without the :meth:`result` construction, so
+        callers that interleave simulation with state inspection — the
+        differential convergence loop — don't pay an O(trace) trace copy
+        per pause. ``started`` threads the wall-clock origin through
+        successive chunks so :class:`DeadlineExceeded` reports the elapsed
+        time of the whole run; the (possibly fresh) origin is returned for
+        the next chunk.
+        """
+        if started is None:
+            started = time.monotonic()
+        while not self.halted and self.cycle < until_cycle:
             self.step()
             if (
                 self.cycle - self.last_progress_cycle
@@ -244,7 +288,7 @@ class OoOCore:
                 now = time.monotonic()
                 if now > deadline:
                     raise DeadlineExceeded(self.cycle, now - started)
-        return self.result()
+        return started
 
     def result(self) -> RunResult:
         stats = dict(self.stats)
@@ -493,8 +537,9 @@ class OoOCore:
                     forwarded if forwarded is not None else self.memory.read(address)
                 )
             uop.state = UopState.EXECUTING
-            latency = self.config.latencies.get(inst.opcode, 1)
-            self.executing.append((self.cycle + latency, uop))
+            self.executing.append(
+                (self.cycle + self._latency_of[uop.pc], uop)
+            )
             return True
         values = [prf.read(p) for p in uop.src_pdsts]
         if inst.is_store:
@@ -516,8 +561,9 @@ class OoOCore:
         else:
             uop.result = execute_op(inst.opcode, values[0], values[1])
         uop.state = UopState.EXECUTING
-        latency = self.config.latencies.get(inst.opcode, 1)
-        self.executing.append((self.cycle + latency, uop))
+        self.executing.append(
+            (self.cycle + self._latency_of[uop.pc], uop)
+        )
         return True
 
     # -- rename --------------------------------------------------------------------------
@@ -558,8 +604,10 @@ class OoOCore:
                 break
             uop = self.fetch_queue[0]
             inst = uop.inst
-            eliminated = self._is_zero_idiom(inst)
-            needs_queue = self._needs_issue_queue(inst) and not eliminated
+            eliminated = (
+                self.zero_pdst is not None and self._zero_idiom_of[uop.pc]
+            )
+            needs_queue = self._needs_queue[uop.pc] and not eliminated
             if inst.writes_register and not eliminated and self.free_list.count <= 0:
                 break
             if needs_queue and len(self.issue_queue) >= cfg.issue_queue_entries:
@@ -581,22 +629,11 @@ class OoOCore:
             self.allocs_since_checkpoint += 1
             self.last_progress_cycle = self.cycle
 
-    def _is_zero_idiom(self, inst: Instruction) -> bool:
-        """Zero idioms renameable to the shared zero register (V.E)."""
-        if self.zero_pdst is None:
-            return False
-        if inst.opcode is Opcode.LI and inst.imm == 0:
-            return True
-        return (
-            inst.opcode in (Opcode.XOR, Opcode.SUB)
-            and inst.rs1 == inst.rs2
-        )
-
     def _rename_one(self, uop: Uop) -> None:
         inst = uop.inst
         seq = self.rob.tail_pos
         uop.seq = seq
-        if self._is_zero_idiom(inst):
+        if self.zero_pdst is not None and self._zero_idiom_of[uop.pc]:
             # Eliminated at rename: no Pdst allocation, no execution. The
             # RAT points the destination at the shared zero register with
             # the duplicate-marking signal asserted.
@@ -628,7 +665,7 @@ class OoOCore:
             self.rob.allocate(seq, uop, False, 0, -1)
         if inst.is_store:
             self.store_queue.allocate(seq)
-        if self._needs_issue_queue(inst):
+        if self._needs_queue[uop.pc]:
             uop.state = UopState.WAITING
             self.issue_queue.append(uop)
             self._issue_scan.append(uop)
@@ -813,6 +850,32 @@ class OoOCore:
         for name, sub in state["parity"].items():
             if name in self.parity:
                 self.parity[name].load_state(sub)
+
+    def fingerprint(self) -> tuple:
+        """A cheap structural digest used as a convergence pre-filter.
+
+        Every component is a function of :meth:`save_state`-visible state
+        (never of ``stats``, which the differential deep compare excludes):
+        if two states are structurally equal their fingerprints are equal,
+        so a fingerprint mismatch cheaply rules out the expensive deep
+        compare without ever ruling out a true convergence.
+        """
+        return (
+            self.halted,
+            self.fetch_pc,
+            self.fetch_stalled,
+            len(self.output),
+            len(self.commit_pcs),
+            len(self.fetch_queue),
+            len(self.issue_queue),
+            len(self.executing),
+            len(self.pending_flushes),
+            self.recovery is None,
+            self.allocs_since_checkpoint,
+            self.last_progress_cycle,
+            self.free_list.count,
+            self.rht.occupancy,
+        )
 
     # -- probes -------------------------------------------------------------------------------
 

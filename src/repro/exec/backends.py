@@ -66,7 +66,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.bugs.snapshot import SnapshotProvider
 from repro.core.config import CoreConfig
 from repro.core.cpu import RunResult
-from repro.exec.tasks import InjectionTask, execute_task
+from repro.exec.tasks import (
+    BatchedInjectionTask,
+    InjectionTask,
+    execute_batch,
+    execute_task,
+)
 from repro.isa.program import Program
 
 #: A pluggable task runner: ``runner(task, context) -> result``. Must be a
@@ -118,6 +123,12 @@ class ExecutionContext:
     config: Optional[CoreConfig] = None
     runner: Optional[TaskRunner] = None
     snapshot_interval: int = 0
+    #: Differential suffix execution (requires ``snapshot_interval`` > 0):
+    #: providers are built with golden delta traces and injections forecast
+    #: their activation, restore just before it, and terminate at
+    #: re-convergence (see repro.bugs.differential). Bit-identical results;
+    #: purely a throughput knob, so it never joins task/checkpoint identity.
+    differential: bool = False
     task_timeout_s: Optional[float] = None
     shutdown: Optional[GracefulShutdown] = None
     _goldens: Dict[str, RunResult] = field(default_factory=dict)
@@ -152,13 +163,20 @@ class ExecutionContext:
                 self.programs[benchmark],
                 self.snapshot_interval,
                 config=self.config,
+                differential=self.differential,
             )
         return self._snapshots[benchmark]
 
     def execute(self, task: object) -> object:
-        """Run one task through ``runner`` or the injection default."""
+        """Run one task through ``runner`` or the injection default.
+
+        A :class:`~repro.exec.tasks.BatchedInjectionTask` is one unit of
+        dispatch here — its wall-clock budget scales with the member count
+        and the outcome is the per-member result list.
+        """
+        members = len(task.members) if isinstance(task, BatchedInjectionTask) else 1
         self._deadline = (
-            time.monotonic() + self.task_timeout_s
+            time.monotonic() + self.task_timeout_s * members
             if self.task_timeout_s is not None
             else None
         )
@@ -166,6 +184,16 @@ class ExecutionContext:
             if self.runner is not None:
                 return self.runner(task, self)
             golden = self.golden(task.benchmark)
+            if isinstance(task, BatchedInjectionTask):
+                return execute_batch(
+                    task,
+                    self.programs[task.benchmark],
+                    golden,
+                    self.config,
+                    snapshots=self.snapshots(task.benchmark),
+                    deadline=self._deadline,
+                    differential=self.differential,
+                )
             return execute_task(
                 task,
                 self.programs[task.benchmark],
@@ -173,6 +201,7 @@ class ExecutionContext:
                 self.config,
                 snapshots=self.snapshots(task.benchmark),
                 deadline=self._deadline,
+                differential=self.differential,
             )
         finally:
             self._deadline = None
@@ -271,6 +300,7 @@ def _worker_init(
     runner: Optional[TaskRunner] = None,
     snapshot_interval: int = 0,
     task_timeout_s: Optional[float] = None,
+    differential: bool = False,
 ) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = ExecutionContext(
@@ -279,6 +309,7 @@ def _worker_init(
         runner=runner,
         snapshot_interval=snapshot_interval,
         task_timeout_s=task_timeout_s,
+        differential=differential,
     )
 
 
@@ -342,6 +373,7 @@ class ProcessPoolBackend:
                 context.runner,
                 context.snapshot_interval,
                 timeout,
+                context.differential,
             ),
         )
 

@@ -49,7 +49,7 @@ from typing import Dict, Iterable, Optional, Set
 
 from repro.exec.backends import ExecutionContext
 from repro.exec.durability import ENV_TORN_APPEND, TORN_APPEND_EXIT_STATUS
-from repro.exec.tasks import execute_task
+from repro.exec.tasks import BatchedInjectionTask, execute_task
 
 ENV_EXIT = "REPRO_CHAOS_EXIT"
 ENV_EXIT_IN_WORKER = "REPRO_CHAOS_EXIT_IN_WORKER"
@@ -111,9 +111,7 @@ def _in_pool_worker() -> bool:
     return multiprocessing.parent_process() is not None
 
 
-def chaos_runner(task: object, context: ExecutionContext) -> object:
-    """The sabotage-aware task runner (see module docstring)."""
-    key = task.key
+def _maybe_sabotage(key: str) -> None:
     if key in _keys(ENV_EXIT):
         os._exit(EXIT_STATUS)
     if key in _keys(ENV_EXIT_IN_WORKER) and _in_pool_worker():
@@ -122,6 +120,35 @@ def chaos_runner(task: object, context: ExecutionContext) -> object:
         raise ChaosError(f"chaos: deterministic failure for task {key}")
     if key in _keys(ENV_HANG):
         time.sleep(float(os.environ.get(ENV_HANG_S, "3600")))
+
+
+def chaos_runner(task: object, context: ExecutionContext) -> object:
+    """The sabotage-aware task runner (see module docstring).
+
+    A :class:`~repro.exec.tasks.BatchedInjectionTask` is executed member
+    by member, with the sabotage check before *each* member — so a plan
+    keyed on a later member kills (or poisons) the process genuinely
+    mid-batch, after earlier members already produced results that the
+    engine must then discard with the rest of the batch.
+    """
+    if isinstance(task, BatchedInjectionTask):
+        golden = context.golden(task.benchmark)
+        results = []
+        for member in task.members:
+            _maybe_sabotage(member.key)
+            results.append(
+                execute_task(
+                    member,
+                    context.programs[task.benchmark],
+                    golden,
+                    context.config,
+                    snapshots=context.snapshots(task.benchmark),
+                    deadline=context.deadline,
+                    differential=context.differential,
+                )
+            )
+        return results
+    _maybe_sabotage(task.key)
     golden = context.golden(task.benchmark)
     return execute_task(
         task,
@@ -130,6 +157,7 @@ def chaos_runner(task: object, context: ExecutionContext) -> object:
         context.config,
         snapshots=context.snapshots(task.benchmark),
         deadline=context.deadline,
+        differential=context.differential,
     )
 
 
@@ -162,10 +190,13 @@ def _smoke(jobs: int = 2) -> int:
     print(f"  kill: {kill_key}\n  hang: {hang_key}")
 
     def comparable(result) -> Dict[str, object]:
-        # Everything but sim_wall_ns, the one field that is a wall-clock
-        # *measurement* rather than a simulation outcome.
+        # Everything but the throughput bookkeeping: wall-clock measurement
+        # and warm-start/differential accounting vary with *how* a run was
+        # executed; every simulation outcome must not.
         record = result_to_dict(result)
         record.pop("sim_wall_ns")
+        record.pop("warm_start_cycles_skipped")
+        record.pop("early_terminated_cycle")
         return record
 
     # Clean serial reference: what every surviving task must reproduce.
@@ -235,7 +266,149 @@ def _smoke(jobs: int = 2) -> int:
         f"{campaign.quarantined} quarantined, resume executed 0 tasks"
     )
     _smoke_torn_append(programs, runs, seed, tasks, baseline_by_key, comparable)
+    _smoke_midbatch_kill(programs, runs, seed, tasks, baseline_by_key, comparable)
     return 0
+
+
+#: Parameters shared by the mid-batch scenario parent and ``--batch-child``.
+_BATCH_CHILD_SCALE = 0.5
+_BATCH_CHILD_RUNS = 4
+_BATCH_CHILD_SEED = 1
+_BATCH_CHILD_INTERVAL = 100
+_BATCH_CHILD_SIZE = 4
+
+
+def _batch_child(path: str) -> int:
+    """Run a batched differential campaign against ``path`` (see below).
+
+    ``python -m repro.exec.chaos --batch-child <checkpoint>`` is the
+    subprocess half of the mid-batch SIGKILL scenario: a serial campaign
+    with batching and differential execution on, dying by ``os._exit``
+    when the inherited ``REPRO_CHAOS_EXIT`` plan names a batch member.
+    Run again with a scrubbed environment it resumes the checkpoint.
+    """
+    from repro.exec.backends import SerialBackend
+    from repro.exec.engine import run_engine
+    from repro.workloads import WORKLOADS
+
+    programs = {"bitcount": WORKLOADS["bitcount"](scale=_BATCH_CHILD_SCALE)}
+    run_engine(
+        programs,
+        _BATCH_CHILD_RUNS,
+        seed=_BATCH_CHILD_SEED,
+        backend=SerialBackend(),
+        checkpoint_path=path,
+        resume=os.path.exists(path),
+        snapshot_interval=_BATCH_CHILD_INTERVAL,
+        differential=True,
+        batch_size=_BATCH_CHILD_SIZE,
+        task_runner=chaos_runner,
+    )
+    return 0
+
+
+def _smoke_midbatch_kill(
+    programs, runs, seed, tasks, baseline_by_key, comparable
+) -> None:
+    """SIGKILL a campaign mid-batch; resume must lose and repeat nothing.
+
+    A ``--batch-child`` subprocess runs a batched differential campaign
+    and hard-exits while executing the *second* member of a multi-member
+    batch — after that batch's first member already simulated, but before
+    any of the batch reached the checkpoint (batch outcomes are written
+    only once the whole batch returns). The resumed child must complete
+    the campaign with every task appearing in the checkpoint exactly once
+    (none lost, none double-counted) and every result bit-identical to
+    the clean serial baseline.
+    """
+    import json
+    import subprocess
+    import sys
+    import tempfile
+    from collections import Counter
+
+    from repro.exec.backends import ExecutionContext
+    from repro.exec.checkpoint import load_checkpoint_full
+    from repro.exec.tasks import group_into_batches
+
+    # Replay the child's batch grouping to aim the kill at a mid-batch
+    # member: the second member of a multi-member batch that is not the
+    # first dispatched unit, so some earlier results are already
+    # checkpointed when the process dies.
+    context = ExecutionContext(programs=programs, config=None)
+    goldens = {name: context.golden(name) for name in programs}
+    batches = group_into_batches(
+        tasks, goldens, None, _BATCH_CHILD_INTERVAL, _BATCH_CHILD_SIZE
+    )
+    target = next(
+        unit
+        for unit in batches[1:]
+        if isinstance(unit, BatchedInjectionTask) and len(unit.members) >= 2
+    )
+    kill_key = target.members[1].key
+    batch_keys = {member.key for member in target.members}
+
+    _scrub_env()
+    clean_env = {
+        name: value
+        for name, value in os.environ.items()
+        if name not in ALL_ENV_VARS
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "midbatch.jsonl")
+        child = subprocess.run(
+            [sys.executable, "-m", "repro.exec.chaos", "--batch-child", path],
+            env=dict(clean_env, **{ENV_EXIT: kill_key}),
+            capture_output=True,
+            text=True,
+        )
+        assert child.returncode == EXIT_STATUS, (
+            f"expected mid-batch kill exit {EXIT_STATUS}, got "
+            f"{child.returncode}: {child.stderr}"
+        )
+        with open(path) as handle:
+            keys_before = [
+                record["key"]
+                for record in map(json.loads, handle)
+                if record.get("type") == "result"
+            ]
+        assert 0 < len(keys_before) < len(tasks), (
+            f"kill must land mid-campaign, got {len(keys_before)} records"
+        )
+        assert not batch_keys & set(keys_before), (
+            "no member of a killed batch may reach the checkpoint"
+        )
+
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro.exec.chaos", "--batch-child", path],
+            env=clean_env,
+            capture_output=True,
+            text=True,
+        )
+        assert resumed.returncode == 0, (
+            f"resume failed ({resumed.returncode}): {resumed.stderr}"
+        )
+        with open(path) as handle:
+            key_counts = Counter(
+                record["key"]
+                for record in map(json.loads, handle)
+                if record.get("type") == "result"
+            )
+        expected = Counter(task.key for task in tasks)
+        assert key_counts == expected, (
+            "resume lost or double-counted tasks: "
+            f"{key_counts - expected} extra, {expected - key_counts} missing"
+        )
+        _, done, quarantined = load_checkpoint_full(path)
+        assert not quarantined and len(done) == len(tasks)
+        for key, (_, result) in done.items():
+            assert comparable(result) == baseline_by_key[key], (
+                f"task {key} diverged from the clean serial baseline"
+            )
+    print(
+        "chaos-smoke OK: mid-batch kill resumed with every task exactly "
+        f"once ({len(tasks)} results, kill at {kill_key})"
+    )
 
 
 def _smoke_torn_append(
@@ -344,4 +517,8 @@ def _smoke_torn_append(
 
 
 if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) > 2 and sys.argv[1] == "--batch-child":
+        raise SystemExit(_batch_child(sys.argv[2]))
     raise SystemExit(_smoke())

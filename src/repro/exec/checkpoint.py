@@ -168,6 +168,7 @@ def result_to_dict(result: InjectionResult) -> Dict[str, object]:
         "eot_detected": result.eot_detected,
         "sim_wall_ns": result.sim_wall_ns,
         "warm_start_cycles_skipped": result.warm_start_cycles_skipped,
+        "early_terminated_cycle": result.early_terminated_cycle,
     }
 
 
@@ -189,6 +190,7 @@ def result_from_dict(data: Dict[str, object]) -> InjectionResult:
         # keys (old files) default rather than fail so resume keeps working.
         sim_wall_ns=data.get("sim_wall_ns"),
         warm_start_cycles_skipped=data.get("warm_start_cycles_skipped", 0),
+        early_terminated_cycle=data.get("early_terminated_cycle"),
     )
 
 

@@ -39,7 +39,11 @@ from repro.exec.checkpoint import (
 from repro.exec.durability import GracefulShutdown
 from repro.exec.progress import ProgressEvent, ProgressObserver
 from repro.exec.resilience import TaskFailure, TaskFailureRecord
-from repro.exec.tasks import generate_tasks
+from repro.exec.tasks import (
+    BatchedInjectionTask,
+    generate_tasks,
+    group_into_batches,
+)
 from repro.isa.program import Program
 
 
@@ -87,6 +91,8 @@ def run_engine(
     checkpoint_fsync: bool = False,
     task_runner: Optional[TaskRunner] = None,
     shutdown: Optional[GracefulShutdown] = None,
+    differential: bool = False,
+    batch_size: int = 1,
 ) -> CampaignResult:
     """Run a full injection campaign through the task engine.
 
@@ -121,6 +127,17 @@ def run_engine(
             once requested (SIGINT/SIGTERM) the backend stops dispatching,
             drains inflight work under the latch's deadline and the engine
             returns a partial — but checkpointed and resumable — campaign.
+        differential: Differential suffix execution (forecasted activation,
+            delta restore, convergence termination — see
+            :mod:`repro.bugs.differential`). Requires
+            ``snapshot_interval`` > 0. Like warm starting, a pure
+            throughput knob: classifications and checkpoints are
+            bit-identical either way, so it never joins manifest identity.
+        batch_size: Dispatch up to this many pending same-(benchmark,
+            inject-window) tasks per backend round trip
+            (:class:`~repro.exec.tasks.BatchedInjectionTask`); 1 disables
+            batching. Checkpoint records stay per-task, so resume
+            granularity and results are independent of the batch size.
 
     Returns:
         The populated :class:`CampaignResult`, with completed results in
@@ -130,6 +147,13 @@ def run_engine(
     models = list(models)
     if resume and checkpoint_path is None:
         raise ValueError("resume=True requires checkpoint_path")
+    if differential and snapshot_interval <= 0:
+        raise ValueError(
+            "differential execution needs golden snapshots: set "
+            "snapshot_interval >= 1 or disable differential"
+        )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     tasks = generate_tasks(
         list(programs), runs_per_model, models, seed, max_attempts,
         config=config,
@@ -140,6 +164,7 @@ def run_engine(
         config=config,
         runner=task_runner,
         snapshot_interval=snapshot_interval,
+        differential=differential,
         shutdown=shutdown,
     )
     goldens = {name: context.golden(name) for name in programs}
@@ -215,23 +240,39 @@ def run_engine(
             for task in tasks
             if task.index not in completed and task.index not in failed
         ]
-        for task, outcome in backend.run(pending, context):
-            if isinstance(outcome, TaskFailure):
-                failed[task.index] = TaskFailureRecord(
-                    key=task.key,
-                    index=task.index,
-                    benchmark=task.benchmark,
-                    failure=outcome,
-                )
-                if writer is not None:
-                    writer.write_failure(task, outcome)
+        work: Sequence = pending
+        if batch_size > 1:
+            work = group_into_batches(
+                pending, goldens, config, snapshot_interval, batch_size
+            )
+        for unit, outcome in backend.run(work, context):
+            if isinstance(unit, BatchedInjectionTask):
+                members = unit.members
+                results = outcome if not isinstance(outcome, TaskFailure) else None
             else:
-                completed[task.index] = outcome
-                if writer is not None:
-                    writer.write_result(task, outcome)
-            executed += 1
-            bench_done[task.benchmark] += 1
-            emit(task.benchmark)
+                members = (unit,)
+                results = None if isinstance(outcome, TaskFailure) else [outcome]
+            if results is None:
+                # A quarantined batch quarantines every member: the batch is
+                # the retry unit, and a per-member record keeps resume and
+                # reporting at task granularity.
+                for member in members:
+                    failed[member.index] = TaskFailureRecord(
+                        key=member.key,
+                        index=member.index,
+                        benchmark=member.benchmark,
+                        failure=outcome,
+                    )
+                    if writer is not None:
+                        writer.write_failure(member, outcome)
+            else:
+                for member, result in zip(members, results):
+                    completed[member.index] = result
+                    if writer is not None:
+                        writer.write_result(member, result)
+            executed += len(members)
+            bench_done[unit.benchmark] += len(members)
+            emit(unit.benchmark)
     finally:
         if writer is not None:
             writer.close()

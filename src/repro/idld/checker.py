@@ -101,36 +101,38 @@ class IDLDChecker(RRSObserver):
         self.violations = []
 
     # -- port taps -------------------------------------------------------------------
+    # These run on every FL pop/push, RAT write and ROB traffic event;
+    # ``extend(p, bit)`` is inlined as ``p | bit`` here because the call
+    # overhead itself was a measurable slice of simulation time.
 
     def fl_read(self, pdst: int) -> None:
-        self.fl_xor ^= extend(pdst, self._ext_bit)
+        self.fl_xor ^= pdst | self._ext_bit
 
     def fl_write(self, pdst: int) -> None:
-        self.fl_xor ^= extend(pdst, self._ext_bit)
+        self.fl_xor ^= pdst | self._ext_bit
 
     def rat_write(self, ldst: int, old_pdst: int, new_pdst: int) -> None:
-        self.rat_xor ^= extend(old_pdst, self._ext_bit) ^ extend(
-            new_pdst, self._ext_bit
-        )
+        ext_bit = self._ext_bit
+        self.rat_xor ^= (old_pdst | ext_bit) ^ (new_pdst | ext_bit)
         if self._in_recovery:
             # Positive-walk reclamation: the evicted PdstID re-enters the
             # recovered ROBxor (Section V.C).
-            self.rob_xor ^= extend(old_pdst, self._ext_bit)
+            self.rob_xor ^= old_pdst | ext_bit
 
     def rat_write_zero_idiom(self, ldst: int, old_pdst: int) -> None:
         # Section V.E: the duplicate-marking signal keeps the shared zero
         # register out of the code; only the eviction is tracked.
-        self.rat_xor ^= extend(old_pdst, self._ext_bit)
+        self.rat_xor ^= old_pdst | self._ext_bit
         if self._in_recovery:
-            self.rob_xor ^= extend(old_pdst, self._ext_bit)
+            self.rob_xor ^= old_pdst | self._ext_bit
 
     def rat_write_over_zero(self, ldst: int, new_pdst: int) -> None:
         # The shared zero register leaves the RAT entry: only the inserted
         # identifier is tracked.
-        self.rat_xor ^= extend(new_pdst, self._ext_bit)
+        self.rat_xor ^= new_pdst | self._ext_bit
 
     def rob_pdst_write(self, pdst: int, seq: int) -> None:
-        self.rob_xor ^= extend(pdst, self._ext_bit)
+        self.rob_xor ^= pdst | self._ext_bit
 
     def rob_pdst_read(self, pdst: int, seq: int) -> None:
         # Every live checkpointed ROBxor folds the commit-reclaim bus too:
@@ -138,7 +140,7 @@ class IDLDChecker(RRSObserver):
         # id the capture included; for an older (anchor) checkpoint it
         # pre-compensates the positive walk, which will replay the eviction
         # of this already-committed entry after a restore.
-        code = extend(pdst, self._ext_bit)
+        code = pdst | self._ext_bit
         self.rob_xor ^= code
         for mirror in self._mirrors.values():
             if mirror.valid:
@@ -257,3 +259,14 @@ class IDLDChecker(RRSObserver):
             for slot, pos, rat_xor, rob_xor, valid in mirrors
         }
         self.violations = [Violation(*v) for v in violations]
+
+    @staticmethod
+    def tracking_of(state: tuple) -> tuple:
+        """The *tracking* projection of a :meth:`save_state` tuple: the XOR
+        codes, recovery flag, and checkpoint mirrors that determine every
+        future observation — excluding the recorded violations, which are
+        results rather than evolving state. Mirrors are normalized by slot
+        so two states touching checkpoints in a different order still
+        compare equal. Used by the differential-execution convergence
+        predicate (:mod:`repro.bugs.differential`)."""
+        return state[:7] + (tuple(sorted(state[7])),)

@@ -144,7 +144,36 @@ class Instruction:
     target: Optional[int] = None
     label: str = field(default="", compare=False)
 
+    # Derived predicates, computed once at construction. Instructions are
+    # immutable program data consulted by every pipeline stage every cycle,
+    # so these are plain attributes rather than properties: the per-access
+    # frozenset/enum hashing showed up as a top simulator cost. They are
+    # intentionally not dataclass fields — equality and repr stay defined
+    # by the operands alone.
+    writes_register: bool = field(init=False, repr=False, compare=False)
+    is_branch: bool = field(init=False, repr=False, compare=False)
+    is_jump: bool = field(init=False, repr=False, compare=False)
+    is_control_flow: bool = field(init=False, repr=False, compare=False)
+    is_memory: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_halt: bool = field(init=False, repr=False, compare=False)
+    uses_immediate: bool = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
+        opcode = self.opcode
+        set_attr = object.__setattr__
+        set_attr(self, "writes_register", opcode in _DEST_OPCODES)
+        set_attr(self, "is_branch", opcode in BRANCH_OPCODES)
+        set_attr(self, "is_jump", opcode is Opcode.JMP)
+        set_attr(
+            self, "is_control_flow", self.is_branch or self.is_jump
+        )
+        set_attr(self, "is_memory", opcode in MEMORY_OPCODES)
+        set_attr(self, "is_store", opcode is Opcode.ST)
+        set_attr(self, "is_load", opcode is Opcode.LD)
+        set_attr(self, "is_halt", opcode is Opcode.HALT)
+        set_attr(self, "uses_immediate", opcode in _IMMEDIATE_OPCODES)
         for name in ("rd", "rs1", "rs2"):
             reg = getattr(self, name)
             if reg is not None and not 0 <= reg < NUM_LOGICAL_REGS:
@@ -153,47 +182,6 @@ class Instruction:
                 )
         if self.writes_register and self.rd is None:
             raise ValueError(f"{self.opcode.value} requires a destination")
-
-    @property
-    def writes_register(self) -> bool:
-        """True when this instruction allocates a physical register."""
-        return self.opcode in _DEST_OPCODES
-
-    @property
-    def is_branch(self) -> bool:
-        """True for conditional branches (speculated by the front end)."""
-        return self.opcode in BRANCH_OPCODES
-
-    @property
-    def is_jump(self) -> bool:
-        """True for the unconditional jump."""
-        return self.opcode is Opcode.JMP
-
-    @property
-    def is_control_flow(self) -> bool:
-        """True for any instruction that can redirect the PC."""
-        return self.is_branch or self.is_jump
-
-    @property
-    def is_memory(self) -> bool:
-        """True for loads and stores."""
-        return self.opcode in MEMORY_OPCODES
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode is Opcode.ST
-
-    @property
-    def is_load(self) -> bool:
-        return self.opcode is Opcode.LD
-
-    @property
-    def is_halt(self) -> bool:
-        return self.opcode is Opcode.HALT
-
-    @property
-    def uses_immediate(self) -> bool:
-        return self.opcode in _IMMEDIATE_OPCODES
 
     def source_registers(self) -> Tuple[int, ...]:
         """Logical source registers read by this instruction, in order."""

@@ -110,6 +110,24 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         help="warm-start snapshot period in cycles; 0 disables [250]",
     )
     parser.add_argument(
+        "--differential",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="differential suffix execution per cell (forecasted "
+        "activation, convergence-terminated delta runs); bit-identical "
+        "results, needs --snapshot-interval >= 1 and silently falls "
+        "back to full suffixes otherwise [on]",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        metavar="N",
+        dest="batch_size",
+        help="tasks dispatched per backend round trip, grouped by "
+        "(benchmark, inject window); 1 disables batching [8]",
+    )
+    parser.add_argument(
         "--benchmarks",
         default="crc32,qsort",
         help="comma-separated benchmark names, or 'all' [crc32,qsort]",
@@ -233,6 +251,10 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.batch_size < 1:
+        print(f"--batch-size must be >= 1, got {args.batch_size}",
+              file=sys.stderr)
+        return 2
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
@@ -306,6 +328,9 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
                 resume=resume,
                 snapshot_interval=args.snapshot_interval,
                 checkpoint_fsync=args.checkpoint_fsync,
+                differential=args.differential
+                and args.snapshot_interval > 0,
+                batch_size=args.batch_size,
             )
         except (CheckpointError, OSError) as exc:
             print(f"checkpoint error: {exc}", file=sys.stderr)
