@@ -28,13 +28,19 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
+import subprocess
 import sys
 import time
 from typing import Dict, List, Optional
 
 from repro.bugs.snapshot import SnapshotProvider
 from repro.core.config import CoreConfig
-from repro.core.cpu import OoOCore
+from repro.core.cpu import (
+    OoOCore,
+    disable_stage_profiling,
+    enable_stage_profiling,
+)
 from repro.exec.tasks import execute_task, generate_tasks
 from repro.workloads import WORKLOADS
 
@@ -79,12 +85,59 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         help="comma-separated benchmark names, or 'all'",
     )
     parser.add_argument(
+        "--differential",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "measure the differential executor (forecast + convergence-"
+            "terminated suffixes) alongside cold/warm; same flag as "
+            "repro campaign (--no-differential to skip those passes) [on]"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "after the timed passes, replay the fastest pass once more "
+            "with per-stage wall-time attribution and append the bucket "
+            "totals as stage_profile (the profiled pass is never part of "
+            "the headline timings)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_core.json",
         metavar="PATH",
         help="JSON trajectory file to append to [BENCH_core.json]",
     )
     return parser.parse_args(argv)
+
+
+def environment_provenance() -> Dict[str, object]:
+    """Where this entry's numbers came from: interpreter, host, commit.
+
+    Perf trajectories are only comparable within one environment; every
+    entry records enough provenance to partition the trajectory when the
+    machine or interpreter changes underneath it.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "python_implementation": platform.python_implementation(),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_commit": commit,
+    }
 
 
 def _time_golden(program, config: Optional[CoreConfig]) -> Dict[str, object]:
@@ -106,8 +159,18 @@ def bench_benchmark(
     seed: int,
     interval: int,
     config: Optional[CoreConfig] = None,
+    differential: bool = True,
+    profile: Optional[Dict[str, int]] = None,
 ) -> Dict[str, object]:
-    """Benchmark one workload: golden speed + cold vs warm injections."""
+    """Benchmark one workload: golden speed + cold vs warm injections.
+
+    With ``differential`` the forecast-and-converge executor is measured
+    as a third pass (and asserted bit-identical to cold). With a
+    ``profile`` accumulator, the fastest measured pass is replayed once
+    more under per-stage wall-time attribution; the replay is asserted
+    result-identical to the cold pass and is never part of the timed
+    columns.
+    """
     entry = _time_golden(program, config)
 
     started = time.perf_counter()
@@ -134,26 +197,28 @@ def bench_benchmark(
             f"{name}: warm-started results differ from cold results"
         )
 
-    started = time.perf_counter()
-    diff_provider = SnapshotProvider(
-        program, interval, config=config, differential=True
-    )
-    diff_provider_wall = time.perf_counter() - started
-
-    started = time.perf_counter()
-    diff = [
-        execute_task(
-            t, program, golden, config,
-            snapshots=diff_provider, differential=True,
+    diff_provider = None
+    if differential:
+        started = time.perf_counter()
+        diff_provider = SnapshotProvider(
+            program, interval, config=config, differential=True
         )
-        for t in tasks
-    ]
-    diff_wall = time.perf_counter() - started
+        diff_provider_wall = time.perf_counter() - started
 
-    if cold != diff:
-        raise AssertionError(
-            f"{name}: differential results differ from cold results"
-        )
+        started = time.perf_counter()
+        diff = [
+            execute_task(
+                t, program, golden, config,
+                snapshots=diff_provider, differential=True,
+            )
+            for t in tasks
+        ]
+        diff_wall = time.perf_counter() - started
+
+        if cold != diff:
+            raise AssertionError(
+                f"{name}: differential results differ from cold results"
+            )
 
     injections = len(tasks)
     entry["injections"] = injections
@@ -165,13 +230,44 @@ def bench_benchmark(
     entry["warm_cycles_skipped"] = sum(
         r.warm_start_cycles_skipped for r in warm
     )
-    entry["diff_provider_wall_s"] = diff_provider_wall
-    entry["diff_wall_s"] = diff_wall
-    entry["diff_inj_per_s"] = injections / diff_wall if diff_wall > 0 else 0.0
-    entry["diff_speedup"] = cold_wall / diff_wall if diff_wall > 0 else 0.0
-    entry["diff_early_terminated"] = sum(
-        1 for r in diff if r.early_terminated_cycle is not None
-    )
+    if differential:
+        entry["diff_provider_wall_s"] = diff_provider_wall
+        entry["diff_wall_s"] = diff_wall
+        entry["diff_inj_per_s"] = (
+            injections / diff_wall if diff_wall > 0 else 0.0
+        )
+        entry["diff_speedup"] = (
+            cold_wall / diff_wall if diff_wall > 0 else 0.0
+        )
+        entry["diff_early_terminated"] = sum(
+            1 for r in diff if r.early_terminated_cycle is not None
+        )
+    if profile is not None:
+        # Dedicated attribution replay of the fastest measured pass. The
+        # profiled cores pay two perf_counter_ns calls per stage, so this
+        # pass is deliberately outside every timed column; asserting its
+        # results against the cold pass keeps the instrumentation honest.
+        accumulator = enable_stage_profiling()
+        try:
+            profiled = [
+                execute_task(
+                    t, program, golden, config,
+                    snapshots=(
+                        diff_provider if differential else provider
+                    ),
+                    differential=differential,
+                )
+                for t in tasks
+            ]
+        finally:
+            stage = dict(accumulator)
+            disable_stage_profiling()
+        if cold != profiled:
+            raise AssertionError(
+                f"{name}: profiled results differ from cold results"
+            )
+        for bucket, value in stage.items():
+            profile[bucket] = profile.get(bucket, 0) + value
     return entry
 
 
@@ -208,53 +304,80 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
             return 2
 
+    profile: Optional[Dict[str, int]] = {} if args.profile else None
     per_benchmark: Dict[str, Dict[str, object]] = {}
     for name in names:
         program = WORKLOADS[name](scale=args.scale)
         per_benchmark[name] = bench_benchmark(
-            name, program, args.runs, args.seed, args.snapshot_interval
+            name, program, args.runs, args.seed, args.snapshot_interval,
+            differential=args.differential, profile=profile,
         )
         b = per_benchmark[name]
+        diff_cols = (
+            f"diff {b['diff_inj_per_s']:6.2f} inj/s | "
+            f"speedup {b['speedup']:.2f}x/{b['diff_speedup']:.2f}x "
+            f"({b['diff_early_terminated']}/{b['injections']} early, "
+            if args.differential
+            else f"speedup {b['speedup']:.2f}x ("
+        )
         print(
             f"{name:>14}: golden {b['golden_cycles_per_s']:>9.0f} cyc/s | "
             f"cold {b['cold_inj_per_s']:6.2f} inj/s | "
             f"warm {b['warm_inj_per_s']:6.2f} inj/s | "
-            f"diff {b['diff_inj_per_s']:6.2f} inj/s | "
-            f"speedup {b['speedup']:.2f}x/{b['diff_speedup']:.2f}x "
-            f"(provider {b['provider_wall_s']:.2f}s, "
-            f"{b['provider_snapshots']} snaps, "
-            f"{b['diff_early_terminated']}/{b['injections']} early)",
+            + diff_cols
+            + f"provider {b['provider_wall_s']:.2f}s, "
+            f"{b['provider_snapshots']} snaps)",
             file=sys.stderr,
         )
 
     total_inj = sum(b["injections"] for b in per_benchmark.values())
     cold_wall = sum(b["cold_wall_s"] for b in per_benchmark.values())
     warm_wall = sum(b["warm_wall_s"] for b in per_benchmark.values())
-    diff_wall = sum(b["diff_wall_s"] for b in per_benchmark.values())
+    aggregate = {
+        "injections": total_inj,
+        "cold_wall_s": cold_wall,
+        "cold_inj_per_s": total_inj / cold_wall if cold_wall > 0 else 0.0,
+        "warm_wall_s": warm_wall,
+        "warm_inj_per_s": total_inj / warm_wall if warm_wall > 0 else 0.0,
+        "speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+    }
+    if args.differential:
+        diff_wall = sum(b["diff_wall_s"] for b in per_benchmark.values())
+        aggregate["diff_wall_s"] = diff_wall
+        aggregate["diff_inj_per_s"] = (
+            total_inj / diff_wall if diff_wall > 0 else 0.0
+        )
+        aggregate["diff_speedup"] = (
+            cold_wall / diff_wall if diff_wall > 0 else 0.0
+        )
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "seed": args.seed,
         "scale": args.scale,
         "runs_per_model": args.runs,
         "snapshot_interval": args.snapshot_interval,
+        "differential": args.differential,
+        "environment": environment_provenance(),
         "benchmarks": per_benchmark,
-        "aggregate": {
-            "injections": total_inj,
-            "cold_wall_s": cold_wall,
-            "cold_inj_per_s": total_inj / cold_wall if cold_wall > 0 else 0.0,
-            "warm_wall_s": warm_wall,
-            "warm_inj_per_s": total_inj / warm_wall if warm_wall > 0 else 0.0,
-            "speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
-            "diff_wall_s": diff_wall,
-            "diff_inj_per_s": total_inj / diff_wall if diff_wall > 0 else 0.0,
-            "diff_speedup": cold_wall / diff_wall if diff_wall > 0 else 0.0,
-        },
+        "aggregate": aggregate,
     }
+    if profile is not None:
+        cycles = profile.pop("cycles", 0)
+        entry["stage_profile"] = {
+            "buckets_ns": profile,
+            "profiled_cycles": cycles,
+            "pass": "differential" if args.differential else "warm",
+        }
     append_entry(args.output, entry)
     print(json.dumps(entry, indent=2, sort_keys=True))
+    tail = (
+        f"warm {aggregate['speedup']:.2f}x, "
+        f"differential {aggregate['diff_speedup']:.2f}x "
+        if args.differential
+        else f"warm {aggregate['speedup']:.2f}x "
+    )
     print(
-        f"aggregate speedup: warm {entry['aggregate']['speedup']:.2f}x, "
-        f"differential {entry['aggregate']['diff_speedup']:.2f}x "
+        f"aggregate speedup: {tail}"
         f"({total_inj} injections; appended to {args.output})",
         file=sys.stderr,
     )

@@ -83,8 +83,14 @@ class RecordingFabric(SignalFabric):
     would fire a one-shot suppression.
     """
 
+    # Every consult must reach the overridden methods below even with
+    # nothing armed: the delta trace IS the consult log. This keeps the
+    # ports' ``fabric.hot`` fast path permanently disabled here.
+    _force_consult = True
+
     def __init__(self) -> None:
         super().__init__()
+        self.hot = True
         self.consults: Dict[Tuple[ArrayName, SignalKind], array] = {}
         self.pdst_writes: array = array("l")
 

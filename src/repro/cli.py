@@ -430,13 +430,15 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     Subcommands: ``campaign`` (the injection campaign, same as the
     ``idld-campaign`` script), ``sweep`` (the campaign across a design-space
     matrix of width x free-list discipline x recovery strategy), ``fuzz``
-    (coverage-guided differential fuzzing) and ``checkpoint``
-    (inspect/verify/repair/merge the JSONL artifacts the engines write).
+    (coverage-guided differential fuzzing), ``checkpoint``
+    (inspect/verify/repair/merge the JSONL artifacts the engines write) and
+    ``bench`` (the performance trajectory harness; shares the
+    ``--differential``/``--snapshot-interval`` knobs with ``campaign``).
     Also reachable without installation as ``python -m repro``.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
-        "usage: repro {campaign,sweep,fuzz,checkpoint} [options]  "
+        "usage: repro {campaign,sweep,fuzz,checkpoint,bench} [options]  "
         "(-h for help)"
     )
     if not argv or argv[0] in ("-h", "--help"):
@@ -457,6 +459,10 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         from repro.exec.cli import checkpoint_main
 
         return checkpoint_main(rest)
+    if command == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(rest)
     print(f"unknown subcommand {command!r}\n{usage}", file=sys.stderr)
     return 2
 

@@ -21,9 +21,11 @@ detectors consume (:mod:`repro.core.rrs.ports`).
 
 from __future__ import annotations
 
+import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.branch import BimodalPredictor, GSharePredictor
 from repro.core.config import CoreConfig
@@ -37,7 +39,7 @@ from repro.core.recovery import make_recovery_strategy
 from repro.core.regfile import PhysicalRegisterFile
 from repro.core.rrs.checkpoint import CheckpointTable
 from repro.core.rrs.free_list import make_free_list
-from repro.core.rrs.ports import RRSObserver, listeners
+from repro.core.rrs.ports import RRSObserver, listeners, overrides_hook
 from repro.core.rrs.rat import RegisterAliasTable
 from repro.core.rrs.rht import RegisterHistoryTable
 from repro.core.rrs.rob import ReorderBuffer
@@ -60,6 +62,49 @@ def _zero_idiom(inst: Instruction) -> bool:
     return (
         inst.opcode in (Opcode.XOR, Opcode.SUB) and inst.rs1 == inst.rs2
     )
+
+
+#: Sentinel finish cycle: "no in-flight op ever completes". Large enough
+#: that ``_min_finish - 1`` still exceeds any reachable cycle budget.
+_NEVER = 1 << 62
+
+#: When non-None, cores constructed afterwards accumulate per-stage wall
+#: time (ns) into this dict; see :func:`enable_stage_profiling`. A module
+#: global rather than per-core state so the zero-overhead default path
+#: stays a plain method call.
+STAGE_PROFILE: Optional[Dict[str, int]] = None
+
+_PROFILE_BUCKETS = (
+    "fetch",
+    "rename",
+    "issue",
+    "execute",
+    "commit",
+    "flush",
+    "recovery",
+    "observer",
+    "fast_forward",
+    "cycles",
+)
+
+
+def enable_stage_profiling() -> Dict[str, int]:
+    """Turn on per-stage wall-time attribution for cores built afterwards.
+
+    Returns the live accumulator dict: ns per pipeline-stage bucket, plus
+    a ``cycles`` count of profiled steps. Profiled cores pay a
+    ``perf_counter_ns`` pair per stage, so this is for the dedicated
+    ``bench --profile`` pass, never the timed passes.
+    """
+    global STAGE_PROFILE
+    STAGE_PROFILE = {bucket: 0 for bucket in _PROFILE_BUCKETS}
+    return STAGE_PROFILE
+
+
+def disable_stage_profiling() -> None:
+    """Turn stage profiling back off (cores built afterwards are clean)."""
+    global STAGE_PROFILE
+    STAGE_PROFILE = None
 
 
 @dataclass
@@ -154,6 +199,35 @@ class OoOCore:
         self.recovery_strategy = make_recovery_strategy(
             cfg.recovery_strategy, self
         )
+        # Array-accelerated hot stages (flat bitmask wakeup scoreboard).
+        # Resolved once: the toggle is a host-side throughput knob with
+        # bit-identical observable behavior (see CoreConfig.accel).
+        self._accel = cfg.accel_enabled()
+        # Quiescence-aware fast-forward: legal only when every attached
+        # per-cycle listener is bulk-replayable under the protocol in
+        # ports.py. One unproven listener disables skipping for this core
+        # entirely (the conservative fallback is exactly today's per-cycle
+        # behavior, so an unknown observer can never change an outcome).
+        env = os.environ.get("REPRO_FAST_FORWARD", "").strip().lower()
+        ff_enabled = env not in ("0", "off", "false")
+        replays: List = []
+        for obs in self.observers:
+            if overrides_hook(obs, "pipeline_empty") or overrides_hook(
+                obs, "cycle_end"
+            ):
+                replay = getattr(obs, "fast_forward", None)
+                if replay is None:
+                    ff_enabled = False
+                    replays = []
+                    break
+                replays.append(replay)
+        self._ff_replay: Tuple = tuple(replays)
+        self.fast_forward_enabled = ff_enabled
+        self._profile = STAGE_PROFILE
+        if self._profile is not None:
+            # Bind the instrumented stepper as an instance attribute so the
+            # default hot path keeps zero profiling overhead.
+            self.step = self._step_profiled  # type: ignore[method-assign]
         # Static per-PC decode tables. Latency, issue-queue occupancy and
         # the zero-idiom test depend only on the instruction, yet rename
         # and issue consulted them for every uop; indexing by PC takes the
@@ -168,6 +242,11 @@ class OoOCore:
         self._zero_idiom_of = tuple(
             _zero_idiom(inst) for inst in instructions
         )
+        self._sources_of = tuple(
+            inst.source_registers() for inst in instructions
+        )
+        # Occupancy threshold for the emergency-checkpoint guard in step().
+        self._rht_emergency = cfg.rht_entries - cfg.width
         self.reset()
 
     # -- lifecycle -------------------------------------------------------------
@@ -192,13 +271,22 @@ class OoOCore:
         self.halted = False
         self.fetch_pc = 0
         self.fetch_stalled = False
-        self.fetch_queue: List[Uop] = []
+        self.fetch_queue: Deque[Uop] = deque()
         self.issue_queue: List[Uop] = []
         # Actionable subsequence of issue_queue (seq order): uops worth an
         # issue attempt this cycle. Source-blocked uops leave the scan and
         # re-enter via the wakeup scoreboard when their pdst is written.
         self._issue_scan: List[Uop] = []
         self.executing: List[Tuple[int, Uop]] = []
+        # Lower bound on the earliest finish cycle in ``executing``
+        # (exactly the min when maintained by _execute_stage; a stale-low
+        # value only costs a harmless extra stage evaluation). Gates the
+        # execute stage and bounds fast-forward jumps.
+        self._min_finish = _NEVER
+        #: Cycles elapsed through fast-forward jumps rather than steps.
+        #: Deliberately NOT in ``stats`` (and so absent from save_state):
+        #: skipping must be invisible to every state digest.
+        self.ff_cycles_skipped = 0
         self.pending_flushes: List[Uop] = []
         # Issue wakeup scoreboard: pdst -> uops whose issue attempt stalled
         # on that (not-ready) source. A blocked uop is skipped by the issue
@@ -277,18 +365,163 @@ class OoOCore:
         """
         if started is None:
             started = time.monotonic()
+        ff = self.fast_forward_enabled
+        fabric = self.fabric
+        deadlock_cycles = self.config.deadlock_cycles
+        fetch_cap = self.config.fetch_buffer_entries
+        step = self.step  # possibly the profiled instance binding
         while not self.halted and self.cycle < until_cycle:
-            self.step()
-            if (
-                self.cycle - self.last_progress_cycle
-                > self.config.deadlock_cycles
-            ):
+            step()
+            if self.cycle - self.last_progress_cycle > deadlock_cycles:
                 raise DeadlockError(self.cycle)
             if deadline is not None and not self.cycle & 1023:
                 now = time.monotonic()
                 if now > deadline:
                     raise DeadlineExceeded(self.cycle, now - started)
+            # Quiescence-aware fast-forward. The cheap discriminators run
+            # inline so a busy core pays one int compare per cycle: a step
+            # that made progress can never open a quiescent span, and a
+            # front end still fetching changes state every cycle. The full
+            # (stage-by-stage) quiescence proof lives in
+            # _try_fast_forward, which jumps only when every stage is
+            # provably a no-op until the next event.
+            if (
+                ff
+                and self.last_progress_cycle != self.cycle
+                and self.recovery is None
+                and not self.pending_flushes
+                and not self.halted
+                and self.cycle < until_cycle
+                and (
+                    self.fetch_stalled
+                    or len(self.fetch_queue) >= fetch_cap
+                )
+                and not fabric.any_armed
+            ):
+                if self._profile is None:
+                    self._try_fast_forward(until_cycle)
+                else:
+                    t0 = time.perf_counter_ns()
+                    try:
+                        self._try_fast_forward(until_cycle)
+                    finally:
+                        self._profile["fast_forward"] += (
+                            time.perf_counter_ns() - t0
+                        )
         return started
+
+    def _try_fast_forward(self, until_cycle: int) -> None:
+        """Bulk-advance over a span of provably event-free cycles.
+
+        Caller (run_cycles) has already established: not halted, no
+        recovery in progress, no pending flush, the signal fabric idle,
+        and a fetch stage that cannot act (stalled or buffer full). This
+        method completes the quiescence proof stage by stage -- commit,
+        checkpoint anchor, rename, issue -- and jumps ``self.cycle`` to
+        the earliest future event: the next execute completion, the
+        deadlock horizon, or ``until_cycle``. Per-cycle observer hooks
+        over the span are replayed in bulk through each listener's
+        ``fast_forward`` method (ports.py protocol); per-cycle detector
+        state and every save_state digest are exactly what step-by-step
+        execution would have produced, or the jump is not taken.
+        """
+        rob = self.rob
+        cfg = self.config
+        if rob.empty:
+            # The emergency checkpoint would mutate CKPT/RHT state.
+            if self.rht.occupancy >= self.rht.capacity - cfg.width:
+                return
+            pipeline_empty = True
+        else:
+            slot = rob.head_slot
+            uop = slot.uop if slot is not None else None
+            if uop is not None and uop.state is UopState.DONE:
+                return  # commit would make progress
+            pipeline_empty = False
+        if not self.ckpt.retire_settled(rob.head_pos, self.rht.head_pos):
+            return  # anchor maintenance might still mutate CKPT/RHT
+        if self.fetch_queue:
+            # Rename must be structurally blocked on the head uop (gate
+            # order mirrors _rename_stage: any one blocking gate stops
+            # the whole group before the checkpoint-interval capture).
+            if not rob.full and self.rht.occupancy < self.rht.capacity:
+                head = self.fetch_queue[0]
+                inst = head.inst
+                eliminated = (
+                    self.zero_pdst is not None
+                    and self._zero_idiom_of[head.pc]
+                )
+                blocked = (
+                    (
+                        inst.writes_register
+                        and not eliminated
+                        and self.free_list.count <= 0
+                    )
+                    or (
+                        self._needs_queue[head.pc]
+                        and not eliminated
+                        and len(self.issue_queue) >= cfg.issue_queue_entries
+                    )
+                    or (inst.is_store and self.store_queue.full)
+                )
+                if not blocked:
+                    return  # rename would make progress
+        # Issue: every actionable uop must stay un-issuable for the whole
+        # span. Nothing writes the PRF before the next completion, so
+        # source readiness is frozen; commit and rename are blocked, so
+        # the store queue is frozen and a replay-stalled load stays
+        # stalled. Source-blocked uops are left in the scan un-parked:
+        # parking is save_state-invisible and the next real step re-parks
+        # them with zero side effects.
+        stalled_loads = 0
+        prf = self.prf
+        ready_mask = prf.ready_mask
+        for uop in self._issue_scan:
+            if self._accel:
+                source_blocked = uop.src_mask & ~ready_mask
+            else:
+                source_blocked = False
+                for pdst in uop.src_pdsts:
+                    if not prf.is_ready(pdst):
+                        source_blocked = True
+                        break
+            if source_blocked:
+                continue
+            inst = uop.inst
+            if not inst.is_load:
+                return  # would issue
+            address = (prf.read(uop.src_pdsts[0]) + inst.imm) & WORD_MASK
+            must_stall, _ = self.store_queue.forward_for_load(
+                uop.seq, address
+            )
+            if not must_stall:
+                return  # the load would issue
+            stalled_loads += 1
+        if stalled_loads and self._on_load_replay:
+            return  # per-cycle replay events are not bulk-replayable
+        cycle = self.cycle
+        target = until_cycle
+        if self._min_finish - 1 < target:
+            target = self._min_finish - 1
+        deadlock_at = self.last_progress_cycle + cfg.deadlock_cycles + 1
+        wedged = deadlock_at <= target
+        if wedged:
+            target = deadlock_at
+        span = target - cycle
+        if span <= 0:
+            return
+        self.cycle = target
+        self.fabric.cycle = target
+        if stalled_loads:
+            # Each replay-stalled load retries (and counts) every cycle.
+            self.stats["load_replays"] += stalled_loads * span
+        for replay in self._ff_replay:
+            replay(cycle, target, pipeline_empty)
+        self.ff_cycles_skipped += span
+        if wedged:
+            # Mirror the lockstep loop exactly: hooks for the deadlock
+            # cycle have fired (above) before the raise.
+            raise DeadlockError(target)
 
     def result(self) -> RunResult:
         stats = dict(self.stats)
@@ -314,13 +547,89 @@ class OoOCore:
             self.last_progress_cycle = cycle
         else:
             self._commit_stage()
-        self._execute_stage()
-        self._flush_arbitration()
-        self._issue_stage()
+        # Stage gates: each skipped call is one the stage body would have
+        # early-returned from (execute: nothing in flight finishes before
+        # _min_finish; flush/issue: empty work lists), so gating is pure
+        # call-overhead removal with identical state evolution.
+        if self._min_finish <= cycle:
+            self._execute_stage()
+        if self.pending_flushes:
+            self._flush_arbitration()
+        if self._issue_scan:
+            self._issue_stage()
+        rob = self.rob
         if self.recovery is None and not self.halted:
-            self._maybe_emergency_checkpoint()
+            # Emergency-checkpoint guard inlined: it only ever applies to
+            # an empty ROB with a nearly-full RHT, so the common cycle
+            # pays two pointer compares instead of a call + properties.
+            rht = self.rht
+            if (
+                rht._tail - rht._head >= self._rht_emergency
+                and rob._tail - rob._head <= 0
+            ):
+                self._maybe_emergency_checkpoint()
             self._rename_stage()
             self._fetch_stage()
+        if (
+            self._on_pipeline_empty
+            and rob._tail - rob._head <= 0
+            and self.recovery is None
+        ):
+            for hook in self._on_pipeline_empty:
+                hook(cycle)
+        for hook in self._on_cycle_end:
+            hook(cycle)
+
+    def _step_profiled(self) -> None:
+        """:meth:`step` with per-stage wall-time attribution.
+
+        Bound over ``step`` as an instance attribute when the core is
+        constructed under :func:`enable_stage_profiling`. Must mirror
+        :meth:`step` exactly apart from the timers.
+        """
+        prof = self._profile
+        perf = time.perf_counter_ns
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        self.fabric.cycle = cycle
+        prof["cycles"] += 1
+        t0 = perf()
+        if self.recovery is not None:
+            self.recovery_strategy.step()
+            self.stats["recovery_cycles"] += 1
+            self.last_progress_cycle = cycle
+            t1 = perf()
+            prof["recovery"] += t1 - t0
+        else:
+            self._commit_stage()
+            t1 = perf()
+            prof["commit"] += t1 - t0
+        if self._min_finish <= cycle:
+            self._execute_stage()
+        t2 = perf()
+        prof["execute"] += t2 - t1
+        if self.pending_flushes:
+            self._flush_arbitration()
+            t3 = perf()
+            prof["flush"] += t3 - t2
+            t2 = t3
+        if self._issue_scan:
+            self._issue_stage()
+        t3 = perf()
+        prof["issue"] += t3 - t2
+        if self.recovery is None and not self.halted:
+            rht = self.rht
+            if (
+                rht._tail - rht._head >= self._rht_emergency
+                and self.rob._tail - self.rob._head <= 0
+            ):
+                self._maybe_emergency_checkpoint()
+            self._rename_stage()
+            t4 = perf()
+            prof["rename"] += t4 - t3
+            self._fetch_stage()
+            t3 = perf()
+            prof["fetch"] += t3 - t4
         if (
             self._on_pipeline_empty
             and self.rob.empty
@@ -330,16 +639,27 @@ class OoOCore:
                 hook(cycle)
         for hook in self._on_cycle_end:
             hook(cycle)
+        prof["observer"] += perf() - t3
 
     # -- commit -------------------------------------------------------------------
 
     def _commit_stage(self, blocked: Optional[set] = None) -> None:
+        # Hot path: the head peek and occupancy test read the ROB ring
+        # directly (the head_slot property plus two property reads per
+        # attempt were a measurable slice of commit time); commit_read()
+        # still drives the reclaim bus with its gating and events intact.
+        rob = self.rob
+        slots = rob._slots
+        rob_capacity = rob.capacity
+        cycle = self.cycle
+        done = UopState.DONE
+        committed = 0
         for _ in range(self.config.width):
-            slot = self.rob.head_slot
-            if slot is None:
+            head = rob._head
+            if rob._tail - head <= 0:
                 break
-            uop: Uop = slot.uop
-            if uop is None or uop.state is not UopState.DONE:
+            uop: Uop = slots[head % rob_capacity].uop
+            if uop is None or uop.state is not done:
                 break
             if blocked is not None and id(uop) in blocked:
                 # Checkpoint-free drain: stop at a resolved mispredict whose
@@ -348,50 +668,65 @@ class OoOCore:
                 break
             inst = uop.inst
             if uop.fault is not None:
-                raise MemoryFault(self.cycle, uop.fault)
+                raise MemoryFault(cycle, uop.fault)
             if inst.is_store:
-                self.memory.committed_write(
-                    self.cycle, uop.mem_address, uop.result
-                )
+                self.memory.committed_write(cycle, uop.mem_address, uop.result)
                 self.store_queue.release(uop.seq)
             elif inst.is_load:
-                self.memory.check_committed_read(self.cycle, uop.mem_address)
+                self.memory.check_committed_read(cycle, uop.mem_address)
             elif inst.opcode is Opcode.OUT:
                 self.output.append(uop.result)
-            reclaim_has_dest, reclaim_pdst = self.rob.commit_read()
+            reclaim_has_dest, reclaim_pdst = rob.commit_read()
             if reclaim_has_dest:
                 self.free_list.push(reclaim_pdst)
             self.commit_pcs.append(uop.pc)
-            self.commit_cycles.append(self.cycle)
-            self.last_progress_cycle = self.cycle
+            self.commit_cycles.append(cycle)
+            committed += 1
             if inst.is_halt:
                 self.halted = True
                 break
+        if committed:
+            self.last_progress_cycle = cycle
         # Anchor maintenance: retire old checkpoints, free RHT entries.
-        anchor = self.ckpt.retire_anchor(self.rob.head_pos)
-        if anchor is not None:
-            self.rht.advance_head(anchor.rht_pos)
+        # retire_settled is a pure memo peek; when it holds, retire_anchor
+        # and advance_head would both no-op, so skipping them is identical.
+        if not self.ckpt.retire_settled(rob._head, self.rht._head):
+            anchor = self.ckpt.retire_anchor(rob._head)
+            if anchor is not None:
+                self.rht.advance_head(anchor.rht_pos)
 
     # -- execute ---------------------------------------------------------------------
 
     def _execute_stage(self) -> None:
         if not self.executing:
+            self._min_finish = _NEVER
             return
+        cycle = self.cycle
         still: List[Tuple[int, Uop]] = []
+        min_finish = _NEVER
         for finish, uop in self.executing:
             if uop.state is UopState.SQUASHED:
                 continue
-            if finish <= self.cycle:
+            if finish <= cycle:
                 self._complete(uop)
             else:
                 still.append((finish, uop))
+                if finish < min_finish:
+                    min_finish = finish
         self.executing = still
+        self._min_finish = min_finish
 
     def _complete(self, uop: Uop) -> None:
         inst = uop.inst
-        if uop.pdst is not None:
-            self.prf.write(uop.pdst, uop.result)
-            waiters = self._wakeups.pop(uop.pdst, None)
+        pdst = uop.pdst
+        if pdst is not None:
+            # Writeback inlined (prf.write is three statements and this is
+            # the hottest producer path); keeps list + mask in lockstep.
+            prf = self.prf
+            prf._values[pdst] = uop.result
+            prf._ready[pdst] = True
+            prf.ready_mask |= 1 << pdst
+            waiters = self._wakeups.pop(pdst, None)
             if waiters is not None:
                 for waiter in waiters:
                     waiter.wait_pdst = None
@@ -431,7 +766,7 @@ class OoOCore:
         rht_tail_at_flush = self.rht.tail_pos
         # Squash younger in-flight work everywhere.
         squashed = len(self.fetch_queue)
-        self.fetch_queue = []
+        self.fetch_queue = deque()
         for uop in self.issue_queue:
             if uop.seq > f_seq:
                 uop.state = UopState.SQUASHED
@@ -443,6 +778,11 @@ class OoOCore:
             if uop.seq > f_seq:
                 uop.state = UopState.SQUASHED
         self.executing = [(c, u) for c, u in self.executing if u.seq <= f_seq]
+        min_finish = _NEVER
+        for finish, _surv in self.executing:
+            if finish < min_finish:
+                min_finish = finish
+        self._min_finish = min_finish
         # Every renamed in-flight uop owns a ROB slot, so the ROB walk (plus
         # the not-yet-renamed fetch queue) counts each squash exactly once.
         for slot in self.rob.live_slots():
@@ -480,91 +820,122 @@ class OoOCore:
         issued = 0
         width = self.config.issue_width
         keep: List[Uop] = []
+        keep_append = keep.append
         changed = False
+        # The issue attempt is inlined (formerly _try_issue): it runs once
+        # per actionable uop per cycle, and nothing inside the loop writes
+        # the PRF, so the ready mask and every port below are loop
+        # invariants.
+        prf = self.prf
+        prf_read = prf.read
+        is_ready = prf.is_ready
+        ready_mask = prf.ready_mask
+        accel = self._accel
+        wakeups = self._wakeups
+        store_queue = self.store_queue
+        memory_read = self.memory.read
+        memory_limit = self.config.memory_limit
+        latency_of = self._latency_of
+        executing_append = self.executing.append
+        cycle = self.cycle
+        min_finish = self._min_finish
+        stats = self.stats
+        on_load_replay = self._on_load_replay
+        executing_state = UopState.EXECUTING
         for i, uop in enumerate(scan):
             if issued >= width:
                 # Width exhausted: the rest stays actionable, untried --
                 # exactly what the full queue walk did.
                 keep.extend(scan[i:])
                 break
-            if self._try_issue(uop):
-                issued += 1
-                self.last_progress_cycle = self.cycle
-                changed = True
-            elif uop.wait_pdst is None:
-                # Replay-stalled load: must retry (and count) every cycle.
-                keep.append(uop)
-            else:
+            inst = uop.inst
+            # Flat-scoreboard wakeup check: all sources ready iff no bit of
+            # src_mask is missing from the PRF ready mask. On a miss, park
+            # on the first not-ready source in operand order -- identical
+            # wait_pdst choice to the scalar walk the fallback runs.
+            wait = None
+            if not accel or uop.src_mask & ~ready_mask:
+                for pdst in uop.src_pdsts:
+                    if not is_ready(pdst):
+                        wait = pdst
+                        break
+            if wait is not None:
                 # Source-blocked: parked in the wakeup scoreboard.
+                uop.wait_pdst = wait
+                waiters = wakeups.get(wait)
+                if waiters is None:
+                    wakeups[wait] = [uop]
+                else:
+                    waiters.append(uop)
                 changed = True
+                continue
+            if inst.is_load:
+                # Loads check store-queue ordering before anything else: a
+                # stalled load retries every cycle (replay counts and
+                # events must match the unoptimized engine), so its path
+                # reads only the address base instead of building the full
+                # operand list.
+                address = (prf_read(uop.src_pdsts[0]) + inst.imm) & WORD_MASK
+                must_stall, forwarded = store_queue.forward_for_load(
+                    uop.seq, address
+                )
+                if must_stall:
+                    stats["load_replays"] += 1
+                    for hook in on_load_replay:
+                        hook(cycle, uop.seq)
+                    # Replay-stalled load: must retry (and count) every
+                    # cycle.
+                    keep_append(uop)
+                    continue
+                uop.mem_address = address
+                if address >= memory_limit:
+                    uop.fault = address
+                    uop.result = 0
+                else:
+                    uop.result = (
+                        forwarded if forwarded is not None
+                        else memory_read(address)
+                    )
+            else:
+                values = [prf_read(p) for p in uop.src_pdsts]
+                if inst.is_store:
+                    address = (values[0] + inst.imm) & WORD_MASK
+                    uop.mem_address = address
+                    uop.result = values[1]
+                    if address >= memory_limit:
+                        uop.fault = address
+                    store_queue.resolve(uop.seq, address, values[1])
+                elif inst.is_branch:
+                    uop.taken = branch_taken(inst.opcode, values[0], values[1])
+                    uop.actual_target = (
+                        inst.target if uop.taken else uop.pc + 1
+                    )
+                elif inst.opcode is Opcode.OUT:
+                    uop.result = values[0]
+                elif inst.opcode is Opcode.LI:
+                    uop.result = inst.imm & WORD_MASK
+                elif inst.uses_immediate:
+                    uop.result = execute_op(inst.opcode, values[0], inst.imm)
+                else:
+                    uop.result = execute_op(inst.opcode, values[0], values[1])
+            uop.state = executing_state
+            finish = cycle + latency_of[uop.pc]
+            executing_append((finish, uop))
+            if finish < min_finish:
+                min_finish = finish
+            issued += 1
+            changed = True
+        self._min_finish = min_finish
         if changed:
             self._issue_scan = keep
         if issued:
+            self.last_progress_cycle = self.cycle
             # Issued uops are EXECUTING now; everything still waiting keeps
             # its queue slot (and its claim on the issue-queue capacity).
+            waiting = UopState.WAITING
             self.issue_queue = [
-                u for u in self.issue_queue if u.state is UopState.WAITING
+                u for u in self.issue_queue if u.state is waiting
             ]
-
-    def _try_issue(self, uop: Uop) -> bool:
-        inst = uop.inst
-        prf = self.prf
-        for pdst in uop.src_pdsts:
-            if not prf.is_ready(pdst):
-                uop.wait_pdst = pdst
-                self._wakeups.setdefault(pdst, []).append(uop)
-                return False
-        if inst.is_load:
-            # Loads check store-queue ordering before anything else: a
-            # stalled load retries every cycle (replay counts and events
-            # must match the unoptimized engine), so its path reads only
-            # the address base instead of building the full operand list.
-            address = (prf.read(uop.src_pdsts[0]) + inst.imm) & WORD_MASK
-            must_stall, forwarded = self.store_queue.forward_for_load(
-                uop.seq, address
-            )
-            if must_stall:
-                self.stats["load_replays"] += 1
-                for hook in self._on_load_replay:
-                    hook(self.cycle, uop.seq)
-                return False
-            uop.mem_address = address
-            if address >= self.config.memory_limit:
-                uop.fault = address
-                uop.result = 0
-            else:
-                uop.result = (
-                    forwarded if forwarded is not None else self.memory.read(address)
-                )
-            uop.state = UopState.EXECUTING
-            self.executing.append(
-                (self.cycle + self._latency_of[uop.pc], uop)
-            )
-            return True
-        values = [prf.read(p) for p in uop.src_pdsts]
-        if inst.is_store:
-            address = (values[0] + inst.imm) & WORD_MASK
-            uop.mem_address = address
-            uop.result = values[1]
-            if address >= self.config.memory_limit:
-                uop.fault = address
-            self.store_queue.resolve(uop.seq, address, values[1])
-        elif inst.is_branch:
-            uop.taken = branch_taken(inst.opcode, values[0], values[1])
-            uop.actual_target = inst.target if uop.taken else uop.pc + 1
-        elif inst.opcode is Opcode.OUT:
-            uop.result = values[0]
-        elif inst.opcode is Opcode.LI:
-            uop.result = inst.imm & WORD_MASK
-        elif inst.uses_immediate:
-            uop.result = execute_op(inst.opcode, values[0], inst.imm)
-        else:
-            uop.result = execute_op(inst.opcode, values[0], values[1])
-        uop.state = UopState.EXECUTING
-        self.executing.append(
-            (self.cycle + self._latency_of[uop.pc], uop)
-        )
-        return True
 
     # -- rename --------------------------------------------------------------------------
 
@@ -591,87 +962,129 @@ class OoOCore:
                     self.rht.advance_head(anchor.rht_pos)
 
     def _rename_stage(self) -> None:
+        fetch_queue = self.fetch_queue
+        if not fetch_queue:
+            return
         cfg = self.config
+        rob = self.rob
+        rht = self.rht
+        rat = self.rat
+        free_list = self.free_list
+        issue_queue = self.issue_queue
+        store_queue = self.store_queue
+        ckpt = self.ckpt
+        stats = self.stats
+        rob_capacity = rob.capacity
+        rht_capacity = rht.capacity
+        iq_capacity = cfg.issue_queue_entries
+        ckpt_interval = cfg.checkpoint_interval
+        zero_pdst = self.zero_pdst
+        zero_elim = zero_pdst is not None
+        zero_idiom_of = self._zero_idiom_of
+        needs_queue_of = self._needs_queue
+        sources_of = self._sources_of
+        # Per-uop rename work is inlined (formerly _rename_one) so the port
+        # bindings below are hoisted once per cycle instead of once per
+        # renamed instruction.
+        rat_read = rat.read
+        rat_write = rat.write
+        rht_log = rht.log
+        rob_allocate = rob.allocate
+        free_pop = free_list.pop
+        prf_mark = self.prf.mark_pending
+        iq_append = issue_queue.append
+        scan_append = self._issue_scan.append
+        popleft = fetch_queue.popleft
+        cycle = self.cycle
+        waiting = UopState.WAITING
+        done = UopState.DONE
+        renamed = 0
         for _ in range(cfg.width):
-            if not self.fetch_queue:
+            if not fetch_queue:
                 break
             # Structural gates first (all pure checks, so the order among
             # them is free): a back-pressured cycle breaks before paying
-            # for the per-instruction idiom/queue classification.
-            if self.rob.full:
+            # for the per-instruction idiom/queue classification. The ROB
+            # and RHT occupancy tests read the ring pointers directly;
+            # FL count must go through the property because a suppressed
+            # (bug-gated) pop freezes it mid-group.
+            if rob._tail - rob._head >= rob_capacity:
                 break
-            if self.rht.occupancy >= self.rht.capacity:
+            if rht._tail - rht._head >= rht_capacity:
                 break
-            uop = self.fetch_queue[0]
+            uop = fetch_queue[0]
             inst = uop.inst
-            eliminated = (
-                self.zero_pdst is not None and self._zero_idiom_of[uop.pc]
-            )
-            needs_queue = self._needs_queue[uop.pc] and not eliminated
-            if inst.writes_register and not eliminated and self.free_list.count <= 0:
+            pc = uop.pc
+            eliminated = zero_elim and zero_idiom_of[pc]
+            needs_queue = needs_queue_of[pc] and not eliminated
+            if inst.writes_register and not eliminated and free_list.count <= 0:
                 break
-            if needs_queue and len(self.issue_queue) >= cfg.issue_queue_entries:
+            if needs_queue and len(issue_queue) >= iq_capacity:
                 break
-            if inst.is_store and self.store_queue.full:
+            if inst.is_store and store_queue.full:
                 break
-            if self.allocs_since_checkpoint >= cfg.checkpoint_interval:
-                taken = self.ckpt.take(
-                    self.rob.tail_pos, self.rht.tail_pos, self.rat.snapshot()
-                )
+            if self.allocs_since_checkpoint >= ckpt_interval:
+                taken = ckpt.take(rob._tail, rht._tail, rat.snapshot())
                 if taken is not None:
-                    self.stats["checkpoints"] += 1
+                    stats["checkpoints"] += 1
                     self.allocs_since_checkpoint = 0
                 else:
-                    self.stats["checkpoints_skipped"] += 1
-            self.fetch_queue.pop(0)
-            self._rename_one(uop)
-            self.stats["renamed"] += 1
+                    stats["checkpoints_skipped"] += 1
+            popleft()
+            seq = rob._tail
+            uop.seq = seq
+            if eliminated:
+                # Eliminated at rename: no Pdst allocation, no execution.
+                # The RAT points the destination at the shared zero
+                # register with the duplicate-marking signal asserted.
+                rd = inst.rd
+                evicted = rat_read(rd)
+                rat.write_zero_idiom(rd)
+                rht_log(True, rd, zero_pdst)
+                rob_allocate(seq, uop, True, evicted, zero_pdst)
+                uop.pdst = None
+                uop.evicted_pdst = evicted
+                uop.src_pdsts = []
+                uop.state = done
+                uop.done_cycle = cycle
+            else:
+                srcs = [rat_read(s) for s in sources_of[pc]]
+                uop.src_pdsts = srcs
+                mask = 0
+                for src in srcs:
+                    mask |= 1 << src
+                uop.src_mask = mask
+                if inst.writes_register:
+                    rd = inst.rd
+                    pdst = free_pop()
+                    evicted = rat_read(rd)
+                    rat_write(rd, pdst)
+                    # The RHT taps the allocation bus before the RAT write
+                    # port, so it logs the *uncorrupted* identifier
+                    # (Section III.B: a corrupted PdstID "is possible to
+                    # recover... from RHT").
+                    rht_log(True, rd, pdst)
+                    rob_allocate(seq, uop, True, evicted, pdst)
+                    prf_mark(pdst)
+                    uop.pdst = pdst
+                    uop.evicted_pdst = evicted
+                else:
+                    rht_log(False, 0, 0)
+                    rob_allocate(seq, uop, False, 0, -1)
+                if inst.is_store:
+                    store_queue.allocate(seq)
+                if needs_queue:
+                    uop.state = waiting
+                    iq_append(uop)
+                    scan_append(uop)
+                else:
+                    uop.state = done
+                    uop.done_cycle = cycle
+            renamed += 1
             self.allocs_since_checkpoint += 1
-            self.last_progress_cycle = self.cycle
-
-    def _rename_one(self, uop: Uop) -> None:
-        inst = uop.inst
-        seq = self.rob.tail_pos
-        uop.seq = seq
-        if self.zero_pdst is not None and self._zero_idiom_of[uop.pc]:
-            # Eliminated at rename: no Pdst allocation, no execution. The
-            # RAT points the destination at the shared zero register with
-            # the duplicate-marking signal asserted.
-            evicted = self.rat.read(inst.rd)
-            self.rat.write_zero_idiom(inst.rd)
-            self.rht.log(True, inst.rd, self.zero_pdst)
-            self.rob.allocate(seq, uop, True, evicted, self.zero_pdst)
-            uop.pdst = None
-            uop.evicted_pdst = evicted
-            uop.src_pdsts = []
-            uop.state = UopState.DONE
-            uop.done_cycle = self.cycle
-            return
-        uop.src_pdsts = [self.rat.read(s) for s in inst.source_registers()]
-        if inst.writes_register:
-            pdst = self.free_list.pop()
-            evicted = self.rat.read(inst.rd)
-            self.rat.write(inst.rd, pdst)
-            # The RHT taps the allocation bus before the RAT write port, so
-            # it logs the *uncorrupted* identifier (Section III.B: a
-            # corrupted PdstID "is possible to recover... from RHT").
-            self.rht.log(True, inst.rd, pdst)
-            self.rob.allocate(seq, uop, True, evicted, pdst)
-            self.prf.mark_pending(pdst)
-            uop.pdst = pdst
-            uop.evicted_pdst = evicted
-        else:
-            self.rht.log(False, 0, 0)
-            self.rob.allocate(seq, uop, False, 0, -1)
-        if inst.is_store:
-            self.store_queue.allocate(seq)
-        if self._needs_queue[uop.pc]:
-            uop.state = UopState.WAITING
-            self.issue_queue.append(uop)
-            self._issue_scan.append(uop)
-        else:
-            uop.state = UopState.DONE
-            uop.done_cycle = self.cycle
+        if renamed:
+            stats["renamed"] += renamed
+            self.last_progress_cycle = cycle
 
     @staticmethod
     def _needs_issue_queue(inst: Instruction) -> bool:
@@ -680,36 +1093,42 @@ class OoOCore:
     # -- fetch ------------------------------------------------------------------------------
 
     def _fetch_stage(self) -> None:
+        if self.fetch_stalled:
+            return
         cfg = self.config
+        fetch_queue = self.fetch_queue
+        buffer_entries = cfg.fetch_buffer_entries
+        instructions = self.program.instructions
+        program_len = len(self.program)
+        cycle = self.cycle
+        pc = self.fetch_pc
+        fetched = 0
         for _ in range(cfg.width):
-            if self.fetch_stalled:
+            if len(fetch_queue) >= buffer_entries:
                 break
-            if len(self.fetch_queue) >= cfg.fetch_buffer_entries:
-                break
-            if not 0 <= self.fetch_pc < len(self.program):
+            if not 0 <= pc < program_len:
                 self.fetch_stalled = True
                 break
-            pc = self.fetch_pc
-            inst = self.program.instructions[pc]
-            uop = Uop(seq=-1, pc=pc, inst=inst, fetch_cycle=self.cycle)
-            self.stats["fetched"] += 1
+            inst = instructions[pc]
+            uop = Uop(seq=-1, pc=pc, inst=inst, fetch_cycle=cycle)
+            fetched += 1
+            fetch_queue.append(uop)
             if inst.is_halt:
-                self.fetch_queue.append(uop)
                 self.fetch_stalled = True
                 break
             if inst.is_jump:
-                self.fetch_queue.append(uop)
-                self.fetch_pc = inst.target
-                continue
-            if inst.is_branch:
+                pc = inst.target
+            elif inst.is_branch:
                 predicted, uop.pred_state = self.predictor.predict(pc)
                 uop.predicted_taken = predicted
-                uop.predicted_target = inst.target if predicted else pc + 1
-                self.fetch_queue.append(uop)
-                self.fetch_pc = uop.predicted_target
-                continue
-            self.fetch_queue.append(uop)
-            self.fetch_pc = pc + 1
+                target = inst.target if predicted else pc + 1
+                uop.predicted_target = target
+                pc = target
+            else:
+                pc += 1
+        self.fetch_pc = pc
+        if fetched:
+            self.stats["fetched"] += fetched
 
     # -- warm-start snapshot/restore ----------------------------------------------------------
 
@@ -810,13 +1229,18 @@ class OoOCore:
         self.allocs_since_checkpoint = state["allocs_since_checkpoint"]
         self.last_progress_cycle = state["last_progress_cycle"]
         self.stats = dict(state["stats"])
-        self.fetch_queue = [uops[i] for i in state["fetch_queue"]]
+        self.fetch_queue = deque(uops[i] for i in state["fetch_queue"])
         self.issue_queue = [uops[i] for i in state["issue_queue"]]
         # Restored uops all carry wait_pdst=None, so the whole queue starts
         # actionable; blocked ones re-park on their first (side-effect-free)
         # failed attempt.
         self._issue_scan = list(self.issue_queue)
         self.executing = [(finish, uops[i]) for finish, i in state["executing"]]
+        min_finish = _NEVER
+        for finish, _u in self.executing:
+            if finish < min_finish:
+                min_finish = finish
+        self._min_finish = min_finish
         self.pending_flushes = [uops[i] for i in state["pending_flushes"]]
         # Restored uops come back with wait_pdst=None: each blocked uop
         # retries once (a no-side-effect failure) and re-blocks, so the

@@ -141,24 +141,39 @@ class CheckpointRecovery(RecoveryStrategy):
         core = self.core
         rec = core.recovery
         steps = core.config.recovery_walk_width
-        while steps > 0 and rec.pos_ptr < rec.pos_end:
-            entry = core.rht.read_slot(rec.pos_ptr)
+        rht = core.rht
+        rat = core.rat
+        entries = rht._entries
+        rht_capacity = rht.capacity
+        walk_advance = rht.walk_advance
+        zero_pdst = core.zero_pdst
+        pos_ptr = rec.pos_ptr
+        pos_end = rec.pos_end
+        while steps > 0 and pos_ptr < pos_end:
+            entry = entries[pos_ptr % rht_capacity]
             if entry.has_dest:
-                if entry.new_pdst == core.zero_pdst and core.zero_pdst is not None:
-                    core.rat.write_zero_idiom(entry.ldst)
+                new_pdst = entry.new_pdst
+                if new_pdst == zero_pdst and zero_pdst is not None:
+                    rat.write_zero_idiom(entry.ldst)
                 else:
-                    core.rat.write(entry.ldst, entry.new_pdst)
-            if core.rht.walk_advance():
-                rec.pos_ptr += 1
+                    rat.write(entry.ldst, new_pdst)
+            if walk_advance():
+                pos_ptr += 1
             steps -= 1
-        while steps > 0 and rec.neg_ptr >= rec.neg_end:
-            entry = core.rht.read_slot(rec.neg_ptr)
-            if entry.has_dest and entry.new_pdst != core.zero_pdst:
-                core.free_list.push(entry.new_pdst)
-            if core.rht.walk_advance():
-                rec.neg_ptr -= 1
-            steps -= 1
-        if rec.pos_ptr >= rec.pos_end and rec.neg_ptr < rec.neg_end:
+        rec.pos_ptr = pos_ptr
+        neg_ptr = rec.neg_ptr
+        neg_end = rec.neg_end
+        if steps > 0 and neg_ptr >= neg_end:
+            free_push = core.free_list.push
+            while steps > 0 and neg_ptr >= neg_end:
+                entry = entries[neg_ptr % rht_capacity]
+                if entry.has_dest and entry.new_pdst != zero_pdst:
+                    free_push(entry.new_pdst)
+                if walk_advance():
+                    neg_ptr -= 1
+                steps -= 1
+            rec.neg_ptr = neg_ptr
+        if pos_ptr >= pos_end and neg_ptr < neg_end:
             self._finish(rec.redirect_pc, rec.new_rht_tail)
 
     def save_recovery(self):
@@ -222,11 +237,15 @@ class RobWalkRecovery(RecoveryStrategy):
             rec.draining = False
         steps = core.config.recovery_walk_width
         records = rec.records
-        while steps > 0 and rec.idx < len(records):
-            self._unwind_one(*records[rec.idx])
-            rec.idx += 1
+        total = len(records)
+        idx = rec.idx
+        unwind = self._unwind_one
+        while steps > 0 and idx < total:
+            unwind(*records[idx])
+            idx += 1
             steps -= 1
-        if rec.idx >= len(records):
+        rec.idx = idx
+        if idx >= total:
             self._finish(rec.redirect_pc, rec.new_rht_tail)
 
     def _drain_step(self) -> bool:  # pragma: no cover - checkpoint-free only

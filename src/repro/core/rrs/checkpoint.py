@@ -180,6 +180,24 @@ class CheckpointTable:
         self._retire_memo = (commit_seq, self._version, anchor)
         return anchor
 
+    def retire_settled(self, commit_seq: int, rht_head: int) -> bool:
+        """True when the commit stage's per-cycle anchor maintenance —
+        ``retire_anchor(commit_seq)`` followed by an RHT
+        ``advance_head(anchor.rht_pos)`` — is provably a pure no-op: the
+        memo covers this exact commit point at the current table version
+        (so the scan would free nothing and return the same anchor), and
+        that anchor would not move the RHT head past ``rht_head``. The
+        core's quiescence predicate consults this before fast-forwarding;
+        unlike :meth:`retire_anchor` it never mutates anything, so a
+        ``False`` answer simply forces one more real step (which settles
+        the memo) rather than changing behavior.
+        """
+        memo = self._retire_memo
+        if memo is None or memo[0] != commit_seq or memo[1] != self._version:
+            return False
+        anchor = memo[2]
+        return anchor is None or anchor.rht_pos <= rht_head
+
     # -- probes -------------------------------------------------------------------
 
     def valid_slots(self) -> List[CheckpointSlot]:

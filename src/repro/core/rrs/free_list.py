@@ -99,15 +99,19 @@ class FifoFreeList:
                 with :attr:`count`; reaching here means a bug corrupted the
                 occupancy, which real hardware could not recover from).
         """
+        fabric = self._fabric
         if self._count <= 0:
             raise SimulatorAssertion(
-                self._fabric.cycle, "Free List underflow (pop from empty)"
+                fabric.cycle, "Free List underflow (pop from empty)"
             )
-        value = self._array[self._head]
+        head = self._head
+        value = self._array[head]
         if self._parity is not None:
-            self._parity.on_read(self._head, value, self._fabric.cycle)
-        if self._fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE):
-            self._head = (self._head + 1) % self.capacity
+            self._parity.on_read(head, value, fabric.cycle)
+        if not fabric.hot or fabric.asserted(
+            ArrayName.FL, SignalKind.READ_ENABLE
+        ):
+            self._head = (head + 1) % self.capacity
             self._count -= 1
             for hook in self._on_read:
                 hook(value)
@@ -123,15 +127,19 @@ class FifoFreeList:
             SimulatorAssertion: On push to a full FIFO (reachable only after
                 a duplication bug inflates the reclaim stream).
         """
-        if self._fabric.asserted(ArrayName.FL, SignalKind.WRITE_ENABLE):
+        fabric = self._fabric
+        if not fabric.hot or fabric.asserted(
+            ArrayName.FL, SignalKind.WRITE_ENABLE
+        ):
             if self._count >= self.capacity:
                 raise SimulatorAssertion(
-                    self._fabric.cycle, "Free List overflow (push to full)"
+                    fabric.cycle, "Free List overflow (push to full)"
                 )
-            self._array[self._tail] = pdst
+            tail = self._tail
+            self._array[tail] = pdst
             if self._parity is not None:
-                self._parity.on_write(self._tail, pdst)
-            self._tail = (self._tail + 1) % self.capacity
+                self._parity.on_write(tail, pdst)
+            self._tail = (tail + 1) % self.capacity
             self._count += 1
             for hook in self._on_write:
                 hook(pdst)
@@ -252,7 +260,10 @@ class StackFreeList:
         value = self._array[index]
         if self._parity is not None:
             self._parity.on_read(index, value, self._fabric.cycle)
-        if self._fabric.asserted(ArrayName.FL, SignalKind.READ_ENABLE):
+        fabric = self._fabric
+        if not fabric.hot or fabric.asserted(
+            ArrayName.FL, SignalKind.READ_ENABLE
+        ):
             self._top -= 1
             for hook in self._on_read:
                 hook(value)
@@ -260,7 +271,10 @@ class StackFreeList:
 
     def push(self, pdst: int) -> None:
         """Reclaim one PdstID (see :meth:`FifoFreeList.push`)."""
-        if self._fabric.asserted(ArrayName.FL, SignalKind.WRITE_ENABLE):
+        fabric = self._fabric
+        if not fabric.hot or fabric.asserted(
+            ArrayName.FL, SignalKind.WRITE_ENABLE
+        ):
             if self._top >= self.capacity:
                 raise SimulatorAssertion(
                     self._fabric.cycle, "Free List overflow (push to full)"

@@ -113,6 +113,25 @@ class RRSObserver:
     def cycle_end(self, cycle: int) -> None:
         """All port traffic for ``cycle`` has been delivered."""
 
+    # Bulk-replay protocol (quiescence-aware fast-forward)
+    # ----------------------------------------------------
+    #
+    # The core may skip a span of cycles it can prove are no-ops: no port
+    # traffic, no state change, only the per-cycle ``pipeline_empty`` /
+    # ``cycle_end`` hooks would have fired. An observer that overrides
+    # either of those hooks *may additionally* define::
+    #
+    #     def fast_forward(self, start_cycle, end_cycle, pipeline_empty):
+    #
+    # which must leave the observer in exactly the state a per-cycle
+    # replay would: for every cycle c in (start_cycle, end_cycle], first
+    # ``pipeline_empty(c)`` (iff the flag is set), then ``cycle_end(c)``.
+    # The method is deliberately **not** defined on this base class: its
+    # absence is the conservative signal. Any attached observer that
+    # overrides a per-cycle hook without providing ``fast_forward``
+    # disables skipping for that core entirely (today's per-cycle
+    # behavior), so an unproven listener can never change an outcome.
+
 
 def overrides_hook(observer: RRSObserver, hook: str) -> bool:
     """True when ``observer``'s class overrides the named base-class hook."""

@@ -39,12 +39,18 @@ class RegisterAliasTable:
         self._zero_pdst = zero_pdst
         self._parity = parity
         self._table: List[int] = list(range(num_logical))
+        if parity is None:
+            # Without parity the read port is a bare array index with no
+            # side effects; bind it straight to the list's C-level getitem.
+            # Every table update below (including bulk restore/load_state)
+            # slice-assigns in place so the binding stays valid.
+            self.read = self._table.__getitem__
 
     def reset(self, initial_mappings: Sequence[int]) -> None:
         """Power-on initialization (logical register i -> mapping[i])."""
         if len(initial_mappings) != self.num_logical:
             raise ValueError("need one initial mapping per logical register")
-        self._table = list(initial_mappings)
+        self._table[:] = initial_mappings
         if self._parity is not None:
             self._parity.reset()
             for lreg, pdst in enumerate(self._table):
@@ -65,8 +71,14 @@ class RegisterAliasTable:
         that was *driven to* the array (post-corruption) so rename can
         forward it, whether or not the write landed.
         """
-        driven = self._fabric.corrupt_pdst(new_pdst)
-        if self._fabric.asserted(ArrayName.RAT, SignalKind.WRITE_ENABLE):
+        fabric = self._fabric
+        if not fabric.hot:
+            driven = new_pdst
+            landed = True
+        else:
+            driven = fabric.corrupt_pdst(new_pdst)
+            landed = fabric.asserted(ArrayName.RAT, SignalKind.WRITE_ENABLE)
+        if landed:
             old = self._table[ldst]
             if self._parity is not None:
                 self._parity.on_read(ldst, old, self._fabric.cycle)
@@ -124,7 +136,7 @@ class RegisterAliasTable:
         Returns True when the restore actually happened.
         """
         if self._fabric.asserted(ArrayName.RAT, SignalKind.RECOVERY):
-            self._table = list(snapshot)
+            self._table[:] = snapshot
             if self._parity is not None:
                 for lreg, pdst in enumerate(self._table):
                     self._parity.on_write(lreg, pdst)
@@ -159,4 +171,4 @@ class RegisterAliasTable:
 
     def load_state(self, state: tuple) -> None:
         """Restore a :meth:`save_state` snapshot (not signal-gated)."""
-        self._table = list(state[0])
+        self._table[:] = state[0]

@@ -92,14 +92,18 @@ class RegisterHistoryTable:
         Raises:
             SimulatorAssertion: On append to a full RHT (rename must guard).
         """
-        if self.full:
-            raise SimulatorAssertion(self._fabric.cycle, "RHT overflow")
-        if self._fabric.asserted(ArrayName.RHT, SignalKind.WRITE_ENABLE):
-            entry = self._entries[self._tail % self.capacity]
+        fabric = self._fabric
+        tail = self._tail
+        if tail - self._head >= self.capacity:
+            raise SimulatorAssertion(fabric.cycle, "RHT overflow")
+        if not fabric.hot or fabric.asserted(
+            ArrayName.RHT, SignalKind.WRITE_ENABLE
+        ):
+            entry = self._entries[tail % self.capacity]
             entry.has_dest = has_dest
             entry.ldst = ldst
             entry.new_pdst = new_pdst
-            self._tail += 1
+            self._tail = tail + 1
 
     # -- walk reads -----------------------------------------------------------------
 
@@ -113,7 +117,10 @@ class RegisterHistoryTable:
         Returns True when the pointer may advance; a False (suppressed)
         consult means this walk step will be repeated.
         """
-        return self._fabric.asserted(ArrayName.RHT, SignalKind.READ_ENABLE)
+        fabric = self._fabric
+        return not fabric.hot or fabric.asserted(
+            ArrayName.RHT, SignalKind.READ_ENABLE
+        )
 
     # -- recovery / retirement ---------------------------------------------------------
 

@@ -133,26 +133,28 @@ class ReorderBuffer:
             SimulatorAssertion: On allocation into a full ROB (rename must
                 guard with :attr:`full`).
         """
-        if self.full:
-            raise SimulatorAssertion(self._fabric.cycle, "ROB overflow")
-        slot = self._slots[self._tail % self.capacity]
+        fabric = self._fabric
+        tail = self._tail
+        if tail - self._head >= self.capacity:
+            raise SimulatorAssertion(fabric.cycle, "ROB overflow")
+        slot = self._slots[tail % self.capacity]
         slot.seq = seq
         slot.uop = uop
         slot.has_dest = has_dest
         slot.new_pdst = new_pdst
         if has_dest:
-            if self._fabric.asserted(ArrayName.ROB, SignalKind.WRITE_ENABLE):
+            if not fabric.hot or fabric.asserted(
+                ArrayName.ROB, SignalKind.WRITE_ENABLE
+            ):
                 slot.evicted_pdst = evicted_pdst
                 if self._parity is not None:
-                    self._parity.on_write(
-                        self._tail % self.capacity, evicted_pdst
-                    )
+                    self._parity.on_write(tail % self.capacity, evicted_pdst)
                 if evicted_pdst != self._zero_pdst:
                     for hook in self._on_pdst_write:
-                        hook(slot.evicted_pdst, seq)
+                        hook(evicted_pdst, seq)
                 # A shared-zero eviction is untracked by design (V.E).
             # else: the slot keeps its previous occupant's evicted_pdst.
-        self._tail += 1
+        self._tail = tail + 1
 
     # -- commit -----------------------------------------------------------------
 
@@ -169,16 +171,15 @@ class ReorderBuffer:
         Raises:
             SimulatorAssertion: On commit from an empty ROB.
         """
-        if self.empty:
-            raise SimulatorAssertion(self._fabric.cycle, "ROB underflow")
+        fabric = self._fabric
+        if self._tail - self._head <= 0:
+            raise SimulatorAssertion(fabric.cycle, "ROB underflow")
         read_slot = self._slots[self._read_ptr % self.capacity]
         reclaim_has_dest = read_slot.has_dest
         reclaim_pdst = read_slot.evicted_pdst
-        reclaim_seq = read_slot.seq
         if self._parity is not None and reclaim_has_dest:
             self._parity.on_read(
-                self._read_ptr % self.capacity, reclaim_pdst,
-                self._fabric.cycle,
+                self._read_ptr % self.capacity, reclaim_pdst, fabric.cycle
             )
         if reclaim_has_dest and reclaim_pdst == self._zero_pdst:
             # Shared-zero evictions never return to the FL and are
@@ -189,8 +190,11 @@ class ReorderBuffer:
         if reclaim_has_dest:
             # Only PdstID reclaims involve the read port; destination-less
             # entries retire without touching it.
-            if self._fabric.asserted(ArrayName.ROB, SignalKind.READ_ENABLE):
+            if not fabric.hot or fabric.asserted(
+                ArrayName.ROB, SignalKind.READ_ENABLE
+            ):
                 self._read_ptr += 1
+                reclaim_seq = read_slot.seq
                 for hook in self._on_pdst_read:
                     hook(reclaim_pdst, reclaim_seq)
         else:
@@ -211,7 +215,10 @@ class ReorderBuffer:
         a stale value -- and the missing XOR fold leaves the code nonzero
         at recovery end. Returns the bus value the walk must use.
         """
-        if self._fabric.asserted(ArrayName.ROB, SignalKind.READ_ENABLE):
+        fabric = self._fabric
+        if not fabric.hot or fabric.asserted(
+            ArrayName.ROB, SignalKind.READ_ENABLE
+        ):
             self._walk_bus = pdst
             for hook in self._on_pdst_read:
                 hook(pdst, seq)

@@ -88,6 +88,29 @@ class BitVectorScheme(RRSObserver):
                 BVDetection(cycle, "leakage", free_count=free)
             )
 
+    def fast_forward(
+        self, start_cycle: int, end_cycle: int, pipeline_empty: bool
+    ) -> None:
+        """Closed-form replay of the per-cycle hooks over a skipped span.
+
+        No FL traffic happens in a quiescent span, so the bit vector and
+        free count are constant: each skipped cycle would have appended one
+        identical leakage detection iff the pipeline was empty and the
+        count off, then advanced the event clock. See the bulk-replay
+        protocol in :mod:`repro.core.rrs.ports`.
+        """
+        if (
+            pipeline_empty
+            and self.enabled
+            and self._free_count != self._expected_free
+        ):
+            free = self._free_count
+            self.detections.extend(
+                BVDetection(cycle, "leakage", free_count=free)
+                for cycle in range(start_cycle + 1, end_cycle + 1)
+            )
+        self._cycle = end_cycle + 1
+
     @property
     def detected(self) -> bool:
         return bool(self.detections)

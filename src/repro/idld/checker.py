@@ -208,6 +208,29 @@ class IDLDChecker(RRSObserver):
                 Violation(cycle, self.fl_xor, self.rat_xor, self.rob_xor, syndrome)
             )
 
+    def fast_forward(
+        self, start_cycle: int, end_cycle: int, pipeline_empty: bool
+    ) -> None:
+        """Closed-form replay of ``cycle_end`` over a skipped quiescent span.
+
+        No port traffic happens in the span, so the XOR registers — and
+        therefore the syndrome — are constant across it: per-cycle stepping
+        would have appended one identical :class:`Violation` per cycle (or
+        none). Replaying that in bulk is exact, which is what lets the core
+        keep this checker attached while fast-forwarding (see the
+        bulk-replay protocol in :mod:`repro.core.rrs.ports`).
+        """
+        if self._in_recovery or not self.enabled:
+            return
+        syndrome = self.syndrome
+        if syndrome == 0:
+            return
+        fl, rat, rob = self.fl_xor, self.rat_xor, self.rob_xor
+        self.violations.extend(
+            Violation(cycle, fl, rat, rob, syndrome)
+            for cycle in range(start_cycle + 1, end_cycle + 1)
+        )
+
     # -- results ---------------------------------------------------------------------------
 
     @property

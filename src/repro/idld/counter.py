@@ -55,6 +55,24 @@ class CounterScheme(RRSObserver):
                 CounterDetection(cycle, self._free, self._expected_free)
             )
 
+    def fast_forward(
+        self, start_cycle: int, end_cycle: int, pipeline_empty: bool
+    ) -> None:
+        """Closed-form replay of ``pipeline_empty`` over a skipped span:
+        the free counter is constant (no FL traffic in a quiescent span),
+        so the per-cycle checks would have appended identical detections.
+        See the bulk-replay protocol in :mod:`repro.core.rrs.ports`."""
+        if (
+            pipeline_empty
+            and self.enabled
+            and self._free != self._expected_free
+        ):
+            free, expected = self._free, self._expected_free
+            self.detections.extend(
+                CounterDetection(cycle, free, expected)
+                for cycle in range(start_cycle + 1, end_cycle + 1)
+            )
+
     @property
     def detected(self) -> bool:
         return bool(self.detections)

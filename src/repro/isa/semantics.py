@@ -29,6 +29,54 @@ def _shift_amount(value: int) -> int:
     return value & (WORD_BITS - 1)
 
 
+def _div(a: int, b: int) -> int:
+    # Division by zero yields all-ones, mirroring RISC-V semantics; the
+    # core must never raise on data values.
+    if b == 0:
+        return WORD_MASK
+    return to_unsigned(int(to_signed(a) / to_signed(b)) if to_signed(b) != 0 else -1)
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    sa, sb = to_signed(a), to_signed(b)
+    return to_unsigned(sa - int(sa / sb) * sb)
+
+
+def _sra(a: int, b: int) -> int:
+    return to_unsigned(to_signed(a) >> _shift_amount(b))
+
+
+#: Opcode -> (masked a, masked b) -> result. A single dict probe replaces
+#: the former if/elif chain, whose per-call cost grew with opcode position;
+#: execute_op runs once per ALU uop in the cycle-level core *and* once per
+#: architectural step of the golden reference interpreter.
+_ALU_FNS = {
+    Opcode.ADD: lambda a, b: (a + b) & WORD_MASK,
+    Opcode.ADDI: lambda a, b: (a + b) & WORD_MASK,
+    Opcode.SUB: lambda a, b: (a - b) & WORD_MASK,
+    Opcode.MUL: lambda a, b: (a * b) & WORD_MASK,
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.ORI: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.XORI: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: (a << _shift_amount(b)) & WORD_MASK,
+    Opcode.SLLI: lambda a, b: (a << _shift_amount(b)) & WORD_MASK,
+    Opcode.SRL: lambda a, b: a >> _shift_amount(b),
+    Opcode.SRLI: lambda a, b: a >> _shift_amount(b),
+    Opcode.SRA: _sra,
+    Opcode.SLT: lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    Opcode.SLTI: lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    Opcode.SLTU: lambda a, b: 1 if a < b else 0,
+    Opcode.LI: lambda a, b: b,
+}
+
+
 def execute_op(opcode: Opcode, a: int, b: int) -> int:
     """Compute the 64-bit result of an ALU operation.
 
@@ -44,44 +92,18 @@ def execute_op(opcode: Opcode, a: int, b: int) -> int:
     Raises:
         ValueError: If ``opcode`` has no ALU semantics (e.g. branches).
     """
-    a &= WORD_MASK
-    b &= WORD_MASK
-    if opcode in (Opcode.ADD, Opcode.ADDI):
-        return (a + b) & WORD_MASK
-    if opcode is Opcode.SUB:
-        return (a - b) & WORD_MASK
-    if opcode is Opcode.MUL:
-        return (a * b) & WORD_MASK
-    if opcode is Opcode.DIV:
-        # Division by zero yields all-ones, mirroring RISC-V semantics; the
-        # core must never raise on data values.
-        if b == 0:
-            return WORD_MASK
-        return to_unsigned(int(to_signed(a) / to_signed(b)) if to_signed(b) != 0 else -1)
-    if opcode is Opcode.REM:
-        if b == 0:
-            return a
-        sa, sb = to_signed(a), to_signed(b)
-        return to_unsigned(sa - int(sa / sb) * sb)
-    if opcode in (Opcode.AND, Opcode.ANDI):
-        return a & b
-    if opcode in (Opcode.OR, Opcode.ORI):
-        return a | b
-    if opcode in (Opcode.XOR, Opcode.XORI):
-        return a ^ b
-    if opcode in (Opcode.SLL, Opcode.SLLI):
-        return (a << _shift_amount(b)) & WORD_MASK
-    if opcode in (Opcode.SRL, Opcode.SRLI):
-        return a >> _shift_amount(b)
-    if opcode is Opcode.SRA:
-        return to_unsigned(to_signed(a) >> _shift_amount(b))
-    if opcode in (Opcode.SLT, Opcode.SLTI):
-        return 1 if to_signed(a) < to_signed(b) else 0
-    if opcode is Opcode.SLTU:
-        return 1 if a < b else 0
-    if opcode is Opcode.LI:
-        return b
-    raise ValueError(f"{opcode.value} has no ALU semantics")
+    fn = _ALU_FNS.get(opcode)
+    if fn is None:
+        raise ValueError(f"{opcode.value} has no ALU semantics")
+    return fn(a & WORD_MASK, b & WORD_MASK)
+
+
+_BRANCH_FNS = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: to_signed(a) < to_signed(b),
+    Opcode.BGE: lambda a, b: to_signed(a) >= to_signed(b),
+}
 
 
 def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
@@ -98,17 +120,10 @@ def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
     Raises:
         ValueError: If ``opcode`` is not a conditional branch.
     """
-    a &= WORD_MASK
-    b &= WORD_MASK
-    if opcode is Opcode.BEQ:
-        return a == b
-    if opcode is Opcode.BNE:
-        return a != b
-    if opcode is Opcode.BLT:
-        return to_signed(a) < to_signed(b)
-    if opcode is Opcode.BGE:
-        return to_signed(a) >= to_signed(b)
-    raise ValueError(f"{opcode.value} is not a conditional branch")
+    fn = _BRANCH_FNS.get(opcode)
+    if fn is None:
+        raise ValueError(f"{opcode.value} is not a conditional branch")
+    return fn(a & WORD_MASK, b & WORD_MASK)
 
 
 def reference_run(program, max_steps: int = 10_000_000):
