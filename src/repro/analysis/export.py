@@ -147,7 +147,16 @@ def campaign_from_checkpoint(path: str) -> "CampaignResult":
     campaign.failures = sorted(
         quarantined.values(), key=lambda record: record.index
     )
-    campaign.goldens = dict(manifest.goldens)
+    # Canonical benchmark order, not file order: checkpoints rewritten by
+    # repair/merge (sort_keys) would otherwise reorder the goldens block
+    # of the JSON export relative to a live campaign's.
+    campaign.goldens = {
+        name: manifest.goldens[name]
+        for name in manifest.benchmarks
+        if name in manifest.goldens
+    }
+    for name, golden in manifest.goldens.items():
+        campaign.goldens.setdefault(name, golden)
     return campaign
 
 

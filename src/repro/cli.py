@@ -431,15 +431,19 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     ``idld-campaign`` script), ``sweep`` (the campaign across a design-space
     matrix of width x free-list discipline x recovery strategy), ``fuzz``
     (coverage-guided differential fuzzing), ``checkpoint``
-    (inspect/verify/repair/merge the JSONL artifacts the engines write) and
+    (inspect/verify/repair/merge the JSONL artifacts the engines write),
     ``bench`` (the performance trajectory harness; shares the
-    ``--differential``/``--snapshot-interval`` knobs with ``campaign``).
+    ``--differential``/``--snapshot-interval`` knobs with ``campaign``) and
+    the distributed campaign fabric (:mod:`repro.exec.fabric`): ``serve``
+    (the shard-leasing coordinator), ``submit``/``status``/``fetch`` (post
+    a campaign, watch it, download the merged artifact) and ``work`` (a
+    worker executing leased shards).
     Also reachable without installation as ``python -m repro``.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
-        "usage: repro {campaign,sweep,fuzz,checkpoint,bench} [options]  "
-        "(-h for help)"
+        "usage: repro {campaign,sweep,fuzz,checkpoint,bench,serve,submit,"
+        "status,fetch,work} [options]  (-h for help)"
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)
@@ -463,6 +467,16 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(rest)
+    if command in ("serve", "submit", "status", "fetch", "work"):
+        from repro.exec import fabric
+
+        return {
+            "serve": fabric.serve_main,
+            "submit": fabric.submit_main,
+            "status": fabric.status_main,
+            "fetch": fabric.fetch_main,
+            "work": fabric.work_main,
+        }[command](rest)
     print(f"unknown subcommand {command!r}\n{usage}", file=sys.stderr)
     return 2
 

@@ -38,6 +38,18 @@ SIGKILLs a ``repro campaign`` subprocess mid-append and asserts that
 ``repro checkpoint verify`` flags the torn tail, ``repair`` salvages every
 intact record, the stale lock is taken over, and a resume of the repaired
 file completes bit-identically to an uninterrupted run.
+
+``python -m repro.exec.chaos --fabric`` runs the distributed-fabric chaos
+smoke (see :mod:`repro.exec.fabric`): a real ``repro serve`` coordinator
+plus three ``repro work`` subprocess workers, with one worker SIGKILLed
+mid-shard (its lease must expire and the shard be reassigned) and the
+coordinator SIGKILLed mid-campaign and restarted on the same port and
+state directory (it must resume from the merged artifact). The surviving
+fleet must finish the campaign with a fetched artifact whose exports are
+byte-identical to a clean single-process ``--jobs 1`` run. A second,
+in-process scenario blackholes a worker's heartbeats on a fake clock and
+asserts lease expiry, reassignment, and a deterministic merge when both
+the silent and the replacement worker upload the same shard.
 """
 
 from __future__ import annotations
@@ -516,9 +528,374 @@ def _smoke_torn_append(
     )
 
 
+# -- the distributed-fabric chaos smoke ----------------------------------------
+
+#: Parameters shared by the fabric scenarios and their serial reference.
+_FABRIC_BENCHMARK = "bitcount"
+_FABRIC_SCALE = 0.5
+_FABRIC_RUNS = 6
+_FABRIC_SEED = 1
+_FABRIC_SHARD = 2
+
+
+def _fabric_reference():
+    """The clean ``--jobs 1`` reference exports every fabric artifact must
+    reproduce byte for byte (CSV carries no wall-clock fields; JSON golden
+    summaries come from the manifest either way)."""
+    from repro.analysis.export import to_csv, to_json
+    from repro.exec.backends import SerialBackend
+    from repro.exec.engine import run_engine
+    from repro.workloads import WORKLOADS
+
+    programs = {
+        _FABRIC_BENCHMARK: WORKLOADS[_FABRIC_BENCHMARK](scale=_FABRIC_SCALE)
+    }
+    campaign = run_engine(
+        programs, _FABRIC_RUNS, seed=_FABRIC_SEED, backend=SerialBackend()
+    )
+    return to_csv(campaign), to_json(campaign)
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _wait_for(predicate, deadline_s: float, what: str):
+    """Poll ``predicate`` until it returns a truthy value or the deadline
+    lapses (transport errors count as 'not yet')."""
+    from repro.exec.fabric import TransportError
+
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            value = predicate()
+        except TransportError:
+            value = None
+        if value:
+            return value
+        time.sleep(0.2)
+    raise AssertionError(f"timed out after {deadline_s:.0f}s waiting for {what}")
+
+
+def _smoke_fabric_fleet() -> None:
+    """Kill a worker and the coordinator mid-campaign; the artifact must
+    not notice.
+
+    Three ``repro work`` subprocesses against a real ``repro serve``
+    coordinator. The first worker is SIGKILLed while holding a lease; the
+    coordinator must expire that lease and hand the shard to someone else.
+    Then the coordinator itself is SIGKILLed mid-campaign and restarted on
+    the same port and state directory; the restart must resume from the
+    merged artifact (never re-executing merged work) and the fleet must
+    finish. The fetched artifact has to verify clean and export
+    byte-identically to the serial reference.
+    """
+    import signal
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.cli import repro_main
+    from repro.exec.cli import checkpoint_main
+    from repro.exec.fabric import HttpTransport
+
+    ref_csv, ref_json = _fabric_reference()
+    port = _free_port()
+    url = f"http://127.0.0.1:{port}"
+    transport = HttpTransport(url, timeout_s=10.0)
+
+    def serve(state_dir: str) -> "subprocess.Popen":
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--state-dir", state_dir,
+                "--host", "127.0.0.1", "--port", str(port),
+                "--lease-ttl", "5", "--no-progress",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def work(workdir: str) -> "subprocess.Popen":
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "work",
+                "--coordinator", url,
+                "--workdir", workdir,
+                "--poll", "0.2",
+                "--snapshot-interval", "100",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    procs = []
+    with tempfile.TemporaryDirectory() as tmp:
+        state_dir = os.path.join(tmp, "state")
+        try:
+            coordinator = serve(state_dir)
+            procs.append(coordinator)
+            _wait_for(
+                lambda: transport.status().get("state") is not None,
+                30, "the coordinator to come up",
+            )
+            assert repro_main([
+                "submit", "--coordinator", url,
+                "--runs", str(_FABRIC_RUNS),
+                "--benchmarks", _FABRIC_BENCHMARK,
+                "--seed", str(_FABRIC_SEED),
+                "--scale", str(_FABRIC_SCALE),
+                "--shard-size", str(_FABRIC_SHARD),
+            ]) == 0, "repro submit failed"
+            total = transport.status()["total_tasks"]
+            shards = transport.status()["shards"]["total"]
+            print(
+                f"fabric-chaos: {total} tasks in {shards} shards on {url}"
+            )
+
+            # One worker, killed while it holds a lease: the coordinator
+            # must reclaim the shard by lease expiry, with nobody there to
+            # release it politely.
+            victim_dir = os.path.join(tmp, "w1")
+            os.makedirs(victim_dir)
+            victim = work(victim_dir)
+            procs.append(victim)
+            _wait_for(
+                lambda: transport.status()["shards"]["leased"] > 0,
+                30, "the victim worker to lease a shard",
+            )
+            victim.kill()
+            victim.wait()
+            assert victim.returncode == -signal.SIGKILL
+            _wait_for(
+                lambda: transport.status()["shards"]["leased"] == 0,
+                30, "the dead worker's lease to expire",
+            )
+            status = transport.status()
+            assert status["state"] == "running", (
+                "one dead worker must not finish (or wedge) the campaign"
+            )
+            print(
+                "fabric-chaos: worker SIGKILLed mid-shard, lease expired "
+                f"(merged so far: {status['done_tasks']}/{total})"
+            )
+
+            # The surviving fleet.
+            workers = []
+            for name in ("w2", "w3"):
+                workdir = os.path.join(tmp, name)
+                os.makedirs(workdir)
+                workers.append(work(workdir))
+            procs.extend(workers)
+
+            # Kill the coordinator mid-campaign, restart it on the same
+            # port and state directory.
+            _wait_for(
+                lambda: transport.status()["done_tasks"] >= _FABRIC_SHARD,
+                60, "some shards to merge before the coordinator dies",
+            )
+            merged_before = transport.status()["done_tasks"]
+            coordinator.kill()
+            coordinator.wait()
+            assert coordinator.returncode == -signal.SIGKILL
+            coordinator = serve(state_dir)
+            procs.append(coordinator)
+            resumed = _wait_for(
+                lambda: transport.status(),
+                30, "the restarted coordinator to come up",
+            )
+            assert resumed["done_tasks"] >= merged_before, (
+                "a coordinator restart must not lose merged work "
+                f"({resumed['done_tasks']} < {merged_before})"
+            )
+            print(
+                "fabric-chaos: coordinator SIGKILLed and restarted with "
+                f"{resumed['done_tasks']}/{total} tasks already merged"
+            )
+
+            final = _wait_for(
+                lambda: (lambda s: s if s["state"] == "done" else None)(
+                    transport.status()
+                ),
+                180, "the fleet to finish the campaign",
+            )
+            assert final["done_tasks"] == total, final
+            assert not final["quarantined_shards"], final
+            for worker in workers:
+                assert worker.wait(timeout=30) == 0, (
+                    "surviving workers must exit 0 once the campaign is done"
+                )
+
+            artifact = os.path.join(tmp, "fetched.jsonl")
+            assert repro_main(
+                ["fetch", "--coordinator", url, "-o", artifact]
+            ) == 0
+            assert checkpoint_main(["verify", artifact]) == 0, (
+                "the fetched artifact must be CRC-clean"
+            )
+            from repro.analysis.export import (
+                campaign_from_checkpoint,
+                to_csv,
+                to_json,
+            )
+
+            campaign = campaign_from_checkpoint(artifact)
+            assert not campaign.failures, campaign.failures
+            assert to_csv(campaign) == ref_csv, (
+                "fleet CSV export diverged from the serial reference"
+            )
+            assert to_json(campaign) == ref_json, (
+                "fleet JSON export diverged from the serial reference"
+            )
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+    print(
+        "fabric-chaos OK: worker kill + coordinator kill/restart survived, "
+        f"artifact byte-identical to --jobs 1 ({total} tasks)"
+    )
+
+
+def _smoke_fabric_blackhole() -> None:
+    """Heartbeat blackhole: a silent worker loses its lease, the shard is
+    reassigned, and when *both* workers eventually upload the same shard
+    the merge stays deterministic — one record per task, exports
+    byte-identical to the serial reference.
+
+    Runs in-process on a fake clock (the coordinator's timeline is
+    injectable) so lease expiry is exact, not sleep-based.
+    """
+    import tempfile
+
+    from repro.analysis.export import (
+        campaign_from_checkpoint,
+        to_csv,
+        to_json,
+    )
+    from repro.exec.engine import run_engine
+    from repro.exec.fabric import (
+        CampaignSpec,
+        FabricCoordinator,
+        FabricPolicy,
+    )
+    from repro.workloads import WORKLOADS
+
+    ref_csv, ref_json = _fabric_reference()
+    clock_now = [0.0]
+    spec = CampaignSpec(
+        benchmarks=(_FABRIC_BENCHMARK,),
+        runs_per_model=_FABRIC_RUNS,
+        seed=_FABRIC_SEED,
+        scale=_FABRIC_SCALE,
+        shard_size=_FABRIC_SHARD,
+    )
+    programs = {
+        _FABRIC_BENCHMARK: WORKLOADS[_FABRIC_BENCHMARK](scale=_FABRIC_SCALE)
+    }
+
+    def run_shard(tmp: str, name: str, keys):
+        import zlib
+
+        path = os.path.join(tmp, f"{name}.jsonl")
+        run_engine(
+            programs,
+            _FABRIC_RUNS,
+            seed=_FABRIC_SEED,
+            checkpoint_path=path,
+            shard_keys=list(keys),
+        )
+        with open(path, "rb") as handle:
+            data = handle.read()
+        return data, zlib.crc32(data) & 0xFFFFFFFF
+
+    with tempfile.TemporaryDirectory() as tmp:
+        coordinator = FabricCoordinator(
+            os.path.join(tmp, "state"),
+            policy=FabricPolicy(lease_ttl_s=60.0, reassign_backoff_max_s=0.0),
+            clock=lambda: clock_now[0],
+        )
+        coordinator.submit(spec.to_dict())
+
+        # The silent worker takes a lease and never heartbeats again.
+        silent = coordinator.request("w-silent")["lease"]
+        assert silent is not None
+        clock_now[0] += 61.0  # one whole TTL of silence
+        assert not coordinator.heartbeat(
+            "w-silent", silent["shard"], silent["token"]
+        ), "a silent worker's heartbeat must find its lease gone"
+
+        # The shard must be reassigned to the next worker that asks.
+        release = coordinator.request("w-replacement")["lease"]
+        assert release is not None and release["shard"] == silent["shard"], (
+            f"expected shard {silent['shard']} reassigned, got {release}"
+        )
+
+        # Both finish the same shard; the replacement merges first, the
+        # silent worker's late upload (stale token!) must still be
+        # accepted and dedup to the same records.
+        data, crc = run_shard(tmp, "replacement", release["keys"])
+        accepted = coordinator.upload(
+            "w-replacement", release["shard"], release["token"], data, crc
+        )
+        assert accepted["ok"] and accepted["new_records"] == len(
+            release["keys"]
+        ), accepted
+        coordinator.release(
+            "w-replacement", release["shard"], release["token"], "complete"
+        )
+        late_data, late_crc = run_shard(tmp, "silent", silent["keys"])
+        late = coordinator.upload(
+            "w-silent", silent["shard"], silent["token"], late_data, late_crc
+        )
+        assert late["ok"] and late["new_records"] == 0, (
+            f"a late duplicate upload must merge to nothing new: {late}"
+        )
+
+        # Drain the rest of the campaign with the replacement worker.
+        while True:
+            response = coordinator.request("w-replacement")
+            lease = response["lease"]
+            if lease is None:
+                assert response["done"], response
+                break
+            data, crc = run_shard(
+                tmp, f"shard-{lease['shard']}", lease["keys"]
+            )
+            assert coordinator.upload(
+                "w-replacement", lease["shard"], lease["token"], data, crc
+            )["ok"]
+            coordinator.release(
+                "w-replacement", lease["shard"], lease["token"], "complete"
+            )
+
+        campaign = campaign_from_checkpoint(coordinator.artifact_path)
+        assert to_csv(campaign) == ref_csv and to_json(campaign) == ref_json, (
+            "blackhole-merged artifact diverged from the serial reference"
+        )
+    print(
+        "fabric-chaos OK: heartbeat blackhole expired the lease, the shard "
+        "was reassigned, and the double upload merged deterministically"
+    )
+
+
+def _smoke_fabric() -> int:
+    _scrub_env()
+    _smoke_fabric_fleet()
+    _smoke_fabric_blackhole()
+    return 0
+
+
 if __name__ == "__main__":
     import sys
 
     if len(sys.argv) > 2 and sys.argv[1] == "--batch-child":
         raise SystemExit(_batch_child(sys.argv[2]))
+    if len(sys.argv) > 1 and sys.argv[1] == "--fabric":
+        raise SystemExit(_smoke_fabric())
     raise SystemExit(_smoke())

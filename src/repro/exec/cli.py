@@ -9,8 +9,11 @@ Subcommands over the JSONL checkpoint files both engines write:
   (atomically), emitting a dropped-record report so the EXPERIMENTS.md
   exclusion rules can be applied before any figure is trusted.
 * ``merge -o OUT SHARD...`` — combine shard checkpoints of the *same*
-  campaign (identical manifest identity) into one, with the exact
-  later-record-wins semantics of ``load_checkpoint_full``.
+  campaign (identical manifest identity) into one: a result anywhere
+  outranks a failure for its key, and duplicate records of one role are
+  resolved content-deterministically
+  (:func:`~repro.exec.durability.canonical_winner`), so the merged file
+  is byte-identical for any argument order.
 
 Exit codes: 0 ok, 1 damage found (verify), 2 unusable input / bad usage.
 """
@@ -18,17 +21,16 @@ Exit codes: 0 ok, 1 damage found (verify), 2 unusable input / bad usage.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Dict, List, Optional
 
 from repro.exec.durability import (
     ScanReport,
-    atomic_write_text,
+    canonical_winner,
     fold_checkpoint,
     manifest_identity,
     scan_checkpoint,
-    seal_record,
+    write_sealed_checkpoint,
 )
 
 
@@ -184,21 +186,6 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_checkpoint(
-    path: str,
-    manifest: Dict[str, object],
-    records: List[Dict[str, object]],
-) -> None:
-    """Write a fresh checkpoint atomically: manifest first, records in
-    canonical task order, everything (re-)sealed with a CRC."""
-    manifest = dict(manifest)
-    manifest["identity"] = manifest_identity(manifest)
-    lines = [json.dumps(seal_record(manifest), sort_keys=True)]
-    for record in sorted(records, key=lambda r: r.get("index", 0)):
-        lines.append(json.dumps(seal_record(record), sort_keys=True))
-    atomic_write_text(path, "\n".join(lines) + "\n")
-
-
 def _cmd_repair(args: argparse.Namespace) -> int:
     out = args.output or args.path + ".repaired"
     try:
@@ -218,7 +205,7 @@ def _cmd_repair(args: argparse.Namespace) -> int:
         print(f"{args.path}: manifest unusable: {problem}", file=sys.stderr)
         return 2
     records = [r for r in done.values()] + [r for r in failures.values()]
-    _write_checkpoint(out, report.manifest, records)
+    write_sealed_checkpoint(out, report.manifest, records)
     _print_issues(report, verb="dropped")
     print(
         f"{out}: salvaged {len(done)} result(s) + {len(failures)} "
@@ -272,16 +259,27 @@ def _cmd_merge(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        # Later-record-wins across shards, in argument order, matching
-        # load_checkpoint_full: a result anywhere outranks a failure.
+        # A result anywhere outranks a failure for its key; duplicate
+        # records of one role resolve content-deterministically, so the
+        # merged output is byte-identical for any argument order (shard
+        # copies of one key differ only in wall-clock metadata).
         for key, record in shard_done.items():
-            done[key] = record
+            done[key] = (
+                canonical_winner(done[key], record)
+                if key in done
+                else record
+            )
             failures.pop(key, None)
         for key, record in shard_failures.items():
-            if key not in done:
-                failures[key] = record
+            if key in done:
+                continue
+            failures[key] = (
+                canonical_winner(failures[key], record)
+                if key in failures
+                else record
+            )
     records = [r for r in done.values()] + [r for r in failures.values()]
-    _write_checkpoint(args.output, base_manifest, records)
+    write_sealed_checkpoint(args.output, base_manifest, records)
     print(
         f"{args.output}: merged {len(args.paths)} shard(s) into "
         f"{len(done)} result(s) + {len(failures)} quarantine record(s)"

@@ -216,6 +216,18 @@ def record_key(record: Dict[str, object]) -> object:
     return record.get("key", record.get("index"))
 
 
+def canonical_winner(
+    a: Dict[str, object], b: Dict[str, object]
+) -> Dict[str, object]:
+    """Deterministic choice between two records claiming the same key and
+    role (two results, or two failures): the lexicographically smaller
+    canonical payload wins. Result records for one key are
+    classification-identical by construction — only wall-clock metadata
+    can differ — so any *stable* rule is correct; a content-based one
+    makes shard merges independent of upload/argument arrival order."""
+    return a if canonical_payload(a) <= canonical_payload(b) else b
+
+
 def scan_checkpoint(
     path: str,
     decode: Optional[Callable[[Dict[str, object]], None]] = None,
@@ -350,6 +362,23 @@ def atomic_write_text(path: str, text: str, newline: Optional[str] = None) -> No
         raise
 
 
+def write_sealed_checkpoint(
+    path: str,
+    manifest: Dict[str, object],
+    records: List[Dict[str, object]],
+) -> None:
+    """Write a fresh checkpoint atomically: manifest first, data records in
+    canonical task order, everything (re-)sealed with a CRC and the
+    manifest's identity hash recomputed. Shared by ``repro checkpoint
+    repair``/``merge`` and the fabric coordinator's continuous merge."""
+    manifest = dict(manifest)
+    manifest["identity"] = manifest_identity(manifest)
+    lines = [json.dumps(seal_record(manifest), sort_keys=True)]
+    for record in sorted(records, key=lambda r: r.get("index", 0)):
+        lines.append(json.dumps(seal_record(record), sort_keys=True))
+    atomic_write_text(path, "\n".join(lines) + "\n")
+
+
 # -- single-writer locking ----------------------------------------------------
 
 
@@ -374,7 +403,11 @@ class CheckpointLock:
     most once per :data:`HEARTBEAT_INTERVAL_S`) on every append. A second
     run refuses to start with an actionable message. Takeover happens when
     the heartbeat is older than ``stale_after_s``, or immediately when the
-    owner recorded the same host and its PID is provably dead.
+    owner recorded the *same host* and its PID is provably dead — PID
+    liveness carries no signal across machines (the number may be live
+    here and dead there, or vice versa), so cross-host locks and legacy
+    locks without a recorded host are never taken over on PID evidence
+    alone.
     """
 
     #: Minimum seconds between heartbeat mtime refreshes.
@@ -431,18 +464,27 @@ class CheckpointLock:
             self._remove_quietly()
             return
         pid = owner.get("pid")
-        same_host = owner.get("host") == socket.gethostname()
+        host = owner.get("host")
+        # PID liveness is only meaningful on the host that recorded the
+        # lock: once checkpoints travel between machines (shard files on a
+        # shared filesystem, a fabric worker picking up another host's
+        # shard), the same PID number may belong to a live but unrelated
+        # process here — or the owner may be perfectly alive over there.
+        # So the dead-PID fast path requires an explicit, matching hostname
+        # in the sidecar; locks from other hosts (or legacy locks that
+        # never recorded one) can only age out via the heartbeat.
+        same_host = isinstance(host, str) and host == socket.gethostname()
         dead = same_host and isinstance(pid, int) and not _pid_alive(pid)
         if dead or age > self.stale_after_s:
             self._remove_quietly()
             return
         raise CheckpointLockedError(
             f"{self.checkpoint_path}: another run (pid {pid} on "
-            f"{owner.get('host')}, heartbeat {age:.0f}s ago) holds the "
-            f"writer lock {self.path}; two writers would interleave and "
-            f"corrupt the checkpoint. If that run is dead, delete the lock "
-            f"file or retry after {self.stale_after_s:.0f}s without a "
-            "heartbeat."
+            f"{host if host is not None else 'an unrecorded host'}, "
+            f"heartbeat {age:.0f}s ago) holds the writer lock {self.path}; "
+            f"two writers would interleave and corrupt the checkpoint. "
+            f"If that run is dead, delete the lock file or retry after "
+            f"{self.stale_after_s:.0f}s without a heartbeat."
         )
 
     def _remove_quietly(self) -> None:

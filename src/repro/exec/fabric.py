@@ -1,0 +1,1473 @@
+"""The distributed campaign fabric: leased shards, heartbeats, merge-as-you-go.
+
+The paper's Section V evaluation is a 30,000-injection campaign — paper
+scale that one host grinds through serially. Every durability primitive a
+fleet needs already exists one layer down (CRC-sealed shard checkpoints,
+merge by manifest identity, single-writer locks, task-level quarantine,
+graceful drain); this module composes them into a coordinator/worker pair
+designed so every failure mode is *survived*, not avoided:
+
+* The **coordinator** (:class:`FabricCoordinator`, served by ``repro
+  serve``) slices the campaign's canonical task list into fixed-size
+  shards and hands them out under time-bounded **leases**. A worker that
+  stops heartbeating loses its lease; the shard is reassigned with capped
+  exponential backoff + jitter (the same
+  :func:`~repro.exec.resilience.backoff_with_jitter` the pool-respawn path
+  uses). A shard that dies on ``quarantine_after`` *distinct* workers is a
+  poison shard and is quarantined — the shard-level mirror of the
+  task-level quarantine in :mod:`repro.exec.resilience`.
+* **Workers** (``repro work --coordinator URL``) wrap the ordinary
+  :func:`~repro.exec.engine.run_engine` with a shard-key filter, a lease
+  renewal thread, graceful SIGTERM drain (finish inflight, upload the
+  sealed partial shard, release the lease) and CRC-verified upload with
+  idempotent retry.
+* Completed (and partial) shard checkpoints are **merged continuously**
+  into one canonical artifact as they land — result-outranks-failure,
+  content-deterministic dedup per task key — so the artifact on disk is always a
+  valid, resumable, ``repro checkpoint verify``-clean campaign prefix.
+  Late uploads from expired leases are welcome: the same task finished by
+  two workers dedups to one record (results are bit-identical by
+  construction; only wall-clock metadata can differ, and that never
+  reaches exports).
+* The coordinator **persists** its spec and the merged artifact in a state
+  directory; a SIGKILLed coordinator restarted on the same directory
+  refolds the artifact, recomputes shard completion and carries on.
+  In-flight leases die with it — workers notice on the next heartbeat,
+  drain, upload what they have and simply re-request work.
+
+Everything speaks :class:`FabricTransport`, with two implementations: the
+in-process :class:`LocalTransport` (tests, chaos) and the stdlib-HTTP
+:class:`HttpTransport` / :func:`make_http_server` pair (``repro serve`` /
+``submit`` / ``status`` / ``fetch`` / ``work``). Determinism is inherited,
+not re-proved: every task carries its own derived seed, so the merged
+fleet artifact is classification-identical to the same campaign at
+``--jobs 1`` no matter which workers died along the way.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import random
+import socket
+import sys
+import threading
+import time
+import uuid
+import zlib
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.bugs.models import BugModel, PRIMARY_MODELS
+from repro.exec.durability import (
+    CheckpointError,
+    GracefulShutdown,
+    atomic_write_text,
+    canonical_winner,
+    fold_checkpoint,
+    identity_hash,
+    manifest_identity,
+    write_sealed_checkpoint,
+)
+from repro.exec.progress import ProgressEvent, ProgressObserver
+from repro.exec.resilience import FaultPolicy, backoff_with_jitter
+from repro.exec.tasks import InjectionTask, generate_tasks
+
+try:  # pragma: no cover - 3.8+ always has Protocol
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+# -- campaign spec -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker needs to regenerate the campaign's task list.
+
+    The spec is the fabric's single source of truth: workers never choose
+    campaign parameters themselves, they receive this with every lease, so
+    a fleet cannot silently mix seeds, scales or design points. Throughput
+    knobs (jobs, snapshot interval, differential, batching) deliberately do
+    NOT appear here — they are per-worker choices that cannot change
+    results.
+    """
+
+    benchmarks: Tuple[str, ...]
+    runs_per_model: int
+    seed: int = 1
+    scale: float = 1.0
+    models: Tuple[str, ...] = tuple(m.value for m in PRIMARY_MODELS)
+    max_attempts: int = 6
+    shard_size: int = 25
+    #: Serialized CoreConfig (CoreConfig.to_dict()) or None for the default
+    #: design point — matches the checkpoint manifest field of PR 6.
+    design_point: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.runs_per_model < 0:
+            raise ValueError(
+                f"runs_per_model must be >= 0, got {self.runs_per_model}"
+            )
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        if not self.benchmarks:
+            raise ValueError("a campaign needs at least one benchmark")
+        for name in self.models:
+            BugModel(name)  # raises ValueError on unknown model names
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmarks": list(self.benchmarks),
+            "runs_per_model": self.runs_per_model,
+            "seed": self.seed,
+            "scale": self.scale,
+            "models": list(self.models),
+            "max_attempts": self.max_attempts,
+            "shard_size": self.shard_size,
+            "design_point": self.design_point,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        return cls(
+            benchmarks=tuple(data["benchmarks"]),
+            runs_per_model=data["runs_per_model"],
+            seed=data.get("seed", 1),
+            scale=data.get("scale", 1.0),
+            models=tuple(data.get("models") or (m.value for m in PRIMARY_MODELS)),
+            max_attempts=data.get("max_attempts", 6),
+            shard_size=data.get("shard_size", 25),
+            design_point=data.get("design_point"),
+        )
+
+    @property
+    def model_enums(self) -> List[BugModel]:
+        return [BugModel(name) for name in self.models]
+
+    def tasks(self) -> List[InjectionTask]:
+        """The campaign's canonical task list (config-independent seeds)."""
+        return generate_tasks(
+            list(self.benchmarks),
+            self.runs_per_model,
+            self.model_enums,
+            self.seed,
+            self.max_attempts,
+            config=self.core_config(),
+        )
+
+    def core_config(self):
+        if self.design_point is None:
+            return None
+        from repro.core.config import CoreConfig
+
+        return CoreConfig.from_dict(self.design_point)
+
+    def programs(self) -> Dict[str, object]:
+        from repro.workloads import WORKLOADS
+
+        unknown = [n for n in self.benchmarks if n not in WORKLOADS]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
+        return {
+            name: WORKLOADS[name](scale=self.scale) for name in self.benchmarks
+        }
+
+    def expected_manifest_identity(self) -> str:
+        """The manifest identity every shard checkpoint of this campaign
+        must carry — computable without running a single golden cycle
+        (golden summaries are excluded from manifest identity), so the
+        coordinator can reject foreign shards before merging them."""
+        fields: Dict[str, object] = {
+            "seed": self.seed,
+            "runs_per_model": self.runs_per_model,
+            "models": list(self.models),
+            "benchmarks": list(self.benchmarks),
+            "max_attempts": self.max_attempts,
+        }
+        if self.design_point is not None:
+            fields["design_point"] = self.design_point
+        return identity_hash(fields)
+
+
+# -- fabric policy and shard state ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricPolicy:
+    """How the coordinator leases, reassigns and quarantines shards.
+
+    Attributes:
+        lease_ttl_s: Seconds a lease lives without a heartbeat; a worker
+            renews by heartbeating, a silent/dead worker's shard is
+            reassigned after expiry.
+        reassign_backoff_base_s: Initial delay before an expired/failed
+            shard becomes leasable again; doubles per grant up to the cap,
+            jittered (see :func:`~repro.exec.resilience.backoff_with_jitter`)
+            so simultaneously-orphaned shards don't thundering-herd one
+            recovering worker.
+        reassign_backoff_max_s: Backoff ceiling.
+        backoff_jitter: Jitter fraction handed to the shared helper.
+        quarantine_after: Distinct workers a shard must fail on (lease
+            expiry or explicit failure release — graceful drains don't
+            count) before it is declared poison and quarantined. Mirrors
+            task-level quarantine one level up.
+        poll_s: Retry hint returned to idle workers when every shard is
+            leased or backing off.
+    """
+
+    lease_ttl_s: float = 60.0
+    reassign_backoff_base_s: float = 0.5
+    reassign_backoff_max_s: float = 30.0
+    backoff_jitter: float = 0.5
+    quarantine_after: int = 3
+    poll_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl_s <= 0:
+            raise ValueError(f"lease_ttl_s must be > 0, got {self.lease_ttl_s}")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+
+
+#: Shard lifecycle states.
+PENDING, LEASED, DONE, QUARANTINED = "pending", "leased", "done", "quarantined"
+
+
+@dataclass
+class Shard:
+    """One leased slice of the campaign's canonical task list."""
+
+    index: int
+    keys: Tuple[str, ...]
+    state: str = PENDING
+    lease_worker: Optional[str] = None
+    lease_token: Optional[str] = None
+    lease_deadline: float = 0.0
+    grants: int = 0  # leases handed out so far (drives the backoff)
+    failed_workers: Set[str] = field(default_factory=set)
+    not_before: float = 0.0  # reassignment backoff gate (coordinator clock)
+    last_failure: str = ""  # most recent charge reason, for diagnosis
+
+    def lease_matches(self, worker: str, token: Optional[str]) -> bool:
+        return (
+            self.state == LEASED
+            and self.lease_worker == worker
+            and self.lease_token == token
+        )
+
+    def clear_lease(self) -> None:
+        self.lease_worker = None
+        self.lease_token = None
+        self.lease_deadline = 0.0
+
+
+# -- the coordinator -----------------------------------------------------------
+
+
+class FabricError(RuntimeError):
+    """A fabric request the coordinator cannot honor."""
+
+
+class FabricCoordinator:
+    """Plans shards, leases them out, merges what comes back.
+
+    Thread-safe (every public method takes the instance lock), transport-
+    agnostic (the HTTP layer and :class:`LocalTransport` both call straight
+    into it) and restart-safe: ``state_dir`` holds ``spec.json`` and the
+    continuously-merged ``merged.jsonl``; a coordinator constructed on a
+    directory with both resumes exactly where the dead one stopped, minus
+    the in-memory leases (workers re-request on their next heartbeat
+    failure).
+
+    ``clock`` is injectable for tests — leases and backoff gates live on
+    whatever timeline it provides (``time.monotonic`` in production).
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        policy: Optional[FabricPolicy] = None,
+        observers: Sequence[ProgressObserver] = (),
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.state_dir = state_dir
+        self.policy = policy if policy is not None else FabricPolicy()
+        self.observers = list(observers)
+        self.clock = clock
+        self.rng = rng
+        self._lock = threading.RLock()
+        self.spec: Optional[CampaignSpec] = None
+        self.shards: List[Shard] = []
+        self._key_index: Dict[str, int] = {}
+        self._key_benchmark: Dict[str, str] = {}
+        self._manifest: Optional[Dict[str, object]] = None
+        self._done: Dict[str, Dict[str, object]] = {}
+        self._failures: Dict[str, Dict[str, object]] = {}
+        self._workers_seen: Dict[str, float] = {}
+        self._started = clock()
+        self._executed_since_start = 0
+        os.makedirs(state_dir, exist_ok=True)
+        self._recover()
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def spec_path(self) -> str:
+        return os.path.join(self.state_dir, "spec.json")
+
+    @property
+    def artifact_path(self) -> str:
+        return os.path.join(self.state_dir, "merged.jsonl")
+
+    # -- persistence / recovery -----------------------------------------------
+
+    def _recover(self) -> None:
+        """Reload a dead coordinator's campaign from its state directory."""
+        if not os.path.exists(self.spec_path):
+            return
+        with open(self.spec_path) as handle:
+            self._install_spec(CampaignSpec.from_dict(json.load(handle)))
+        if os.path.exists(self.artifact_path):
+            report, done, failures = fold_checkpoint(self.artifact_path)
+            if report.manifest is None or report.interior_issues:
+                raise CheckpointError(
+                    f"{self.artifact_path}: merged artifact is damaged; "
+                    "repair it with `repro checkpoint repair` before "
+                    "restarting the coordinator"
+                )
+            self._manifest = report.manifest
+            self._done = dict(done)
+            self._failures = dict(failures)
+            self._refresh_shard_completion()
+
+    def _install_spec(self, spec: CampaignSpec) -> None:
+        self.spec = spec
+        tasks = spec.tasks()
+        self._key_index = {task.key: task.index for task in tasks}
+        self._key_benchmark = {task.key: task.benchmark for task in tasks}
+        keys = [task.key for task in tasks]
+        self.shards = [
+            Shard(index=i, keys=tuple(keys[start:start + spec.shard_size]))
+            for i, start in enumerate(range(0, len(keys), spec.shard_size))
+        ]
+
+    # -- submit ---------------------------------------------------------------
+
+    def submit(self, spec_data: Dict[str, object]) -> Dict[str, object]:
+        """Install the campaign. Idempotent for an identical spec; a
+        different spec is refused (one coordinator, one campaign — run a
+        second coordinator on a second state dir for a second campaign)."""
+        with self._lock:
+            spec = CampaignSpec.from_dict(spec_data)
+            spec.programs()  # validates benchmark names before accepting
+            if self.spec is not None:
+                if self.spec == spec:
+                    return self.status()
+                raise FabricError(
+                    "a different campaign is already submitted; this "
+                    "coordinator serves one campaign per state directory"
+                )
+            self._install_spec(spec)
+            atomic_write_text(
+                self.spec_path, json.dumps(spec.to_dict(), sort_keys=True)
+            )
+            self._started = self.clock()
+            self._executed_since_start = 0
+            return self.status()
+
+    # -- lease lifecycle ------------------------------------------------------
+
+    def _expire_leases(self) -> None:
+        now = self.clock()
+        for shard in self.shards:
+            if shard.state == LEASED and now > shard.lease_deadline:
+                # A silent worker is charged like a failed one: heartbeats
+                # exist precisely so death and hang are indistinguishable.
+                worker = shard.lease_worker
+                shard.clear_lease()
+                self._charge_failure(shard, worker, reason="lease expired")
+
+    def _charge_failure(
+        self, shard: Shard, worker: Optional[str], reason: str
+    ) -> None:
+        if worker is not None:
+            shard.failed_workers.add(worker)
+        shard.last_failure = reason
+        if len(shard.failed_workers) >= self.policy.quarantine_after:
+            shard.state = QUARANTINED
+            return
+        shard.state = PENDING
+        shard.not_before = self.clock() + backoff_with_jitter(
+            shard.grants,
+            self.policy.reassign_backoff_base_s,
+            self.policy.reassign_backoff_max_s,
+            jitter=self.policy.backoff_jitter,
+            rng=self.rng,
+        )
+
+    def request(self, worker: str) -> Dict[str, object]:
+        """Hand ``worker`` a lease on the lowest-index eligible shard."""
+        with self._lock:
+            if self.spec is None:
+                return {"lease": None, "done": False,
+                        "retry_after_s": self.policy.poll_s}
+            self._expire_leases()
+            self._workers_seen[worker] = self.clock()
+            now = self.clock()
+            for shard in self.shards:
+                if shard.state != PENDING or now < shard.not_before:
+                    continue
+                shard.state = LEASED
+                shard.lease_worker = worker
+                shard.lease_token = uuid.uuid4().hex
+                shard.lease_deadline = now + self.policy.lease_ttl_s
+                shard.grants += 1
+                handled = self._handled_keys()
+                return {
+                    "lease": {
+                        "shard": shard.index,
+                        "token": shard.lease_token,
+                        "keys": list(shard.keys),
+                        # Already-merged keys (a drained predecessor's
+                        # partial upload): the new worker skips them.
+                        "skip_keys": [
+                            k for k in shard.keys if k in handled
+                        ],
+                        "ttl_s": self.policy.lease_ttl_s,
+                        "spec": self.spec.to_dict(),
+                    },
+                    "done": False,
+                    "retry_after_s": self.policy.poll_s,
+                }
+            return {
+                "lease": None,
+                "done": self.campaign_done(),
+                "retry_after_s": self.policy.poll_s,
+            }
+
+    def heartbeat(self, worker: str, shard_index: int, token: str) -> bool:
+        """Renew a lease; False tells the worker its lease is gone and it
+        should drain, upload what it has and re-request."""
+        with self._lock:
+            self._expire_leases()
+            self._workers_seen[worker] = self.clock()
+            if not 0 <= shard_index < len(self.shards):
+                return False
+            shard = self.shards[shard_index]
+            if not shard.lease_matches(worker, token):
+                return False
+            shard.lease_deadline = self.clock() + self.policy.lease_ttl_s
+            return True
+
+    def release(
+        self,
+        worker: str,
+        shard_index: int,
+        token: Optional[str],
+        outcome: str,
+        reason: str = "",
+    ) -> Dict[str, object]:
+        """End a lease: ``complete`` / ``drain`` (graceful, uncharged) /
+        ``failed`` (charged toward poison-shard quarantine)."""
+        with self._lock:
+            self._expire_leases()
+            if not 0 <= shard_index < len(self.shards):
+                raise FabricError(f"unknown shard {shard_index}")
+            shard = self.shards[shard_index]
+            if shard.lease_matches(worker, token):
+                shard.clear_lease()
+                if shard.state != DONE:
+                    if outcome == "failed":
+                        self._charge_failure(shard, worker, reason)
+                    elif shard.state == LEASED:
+                        shard.state = PENDING  # drain/complete-but-short
+            self._refresh_shard_completion()
+            return {"ok": True, "state": shard.state}
+
+    # -- upload + merge --------------------------------------------------------
+
+    def upload(
+        self,
+        worker: str,
+        shard_index: int,
+        token: Optional[str],
+        data: bytes,
+        crc: int,
+    ) -> Dict[str, object]:
+        """Receive one (possibly partial) shard checkpoint and merge it.
+
+        The transfer is CRC-verified on receipt and idempotent, so a worker
+        simply re-POSTs the same bytes after any network failure — that is
+        the whole resumability story, and it composes with lease loss:
+        uploads are accepted *regardless* of lease validity, because a
+        completed record is valid evidence whoever's lease it rode in on
+        (the merge dedups overlap deterministically).
+        """
+        with self._lock:
+            if self.spec is None:
+                raise FabricError("no campaign submitted")
+            if zlib.crc32(data) & 0xFFFFFFFF != crc:
+                return {
+                    "ok": False,
+                    "reason": "transfer CRC mismatch; retry the upload",
+                }
+            self._workers_seen[worker] = self.clock()
+            staging = os.path.join(
+                self.state_dir, f"upload-{shard_index}-{worker}.jsonl"
+            )
+            atomic_write_text(
+                staging, data.decode("utf-8", errors="surrogateescape")
+            )
+            try:
+                report, done, failures = fold_checkpoint(staging)
+                if report.manifest is None:
+                    return {"ok": False, "reason": "no readable manifest"}
+                if report.interior_issues:
+                    issues = "; ".join(
+                        f"line {i.lineno}: {i.reason}"
+                        for i in report.interior_issues
+                    )
+                    return {
+                        "ok": False,
+                        "reason": f"interior corruption ({issues})",
+                    }
+                identity = manifest_identity(report.manifest)
+                expected = self.spec.expected_manifest_identity()
+                if identity != expected:
+                    return {
+                        "ok": False,
+                        "reason": (
+                            f"manifest identity {identity} does not match "
+                            f"this campaign ({expected}); shard refused"
+                        ),
+                    }
+            finally:
+                try:
+                    os.unlink(staging)
+                except OSError:
+                    pass
+            merged_new = self._merge_records(report.manifest, done, failures)
+            self._refresh_shard_completion()
+            self._write_artifact()
+            self._emit_progress(shard_index)
+            return {
+                "ok": True,
+                "new_records": merged_new,
+                "done_tasks": len(self._done),
+                "campaign_done": self.campaign_done(),
+            }
+
+    def _merge_records(
+        self,
+        manifest: Dict[str, object],
+        done: Dict[object, Dict[str, object]],
+        failures: Dict[object, Dict[str, object]],
+    ) -> int:
+        """Fold one shard's records into the canonical store.
+
+        Deterministic regardless of upload arrival order: a result always
+        outranks any failure record for its key, and duplicate records of
+        one role resolve content-deterministically
+        (:func:`~repro.exec.durability.canonical_winner`) — safe because
+        result records for a key are classification-identical by
+        construction (only wall-clock metadata can differ, and exports
+        never carry it), and it makes the merged artifact byte-identical
+        whatever order the fleet's uploads landed in.
+        """
+        if self._manifest is None:
+            self._manifest = dict(manifest)
+        # Each shard's manifest summarizes only the goldens it ran; the
+        # canonical artifact needs the union (exports reproduce golden
+        # summaries per benchmark). Goldens are outside manifest identity,
+        # so this never changes which campaign the artifact claims to be.
+        goldens = dict(self._manifest.get("goldens") or {})
+        goldens.update(manifest.get("goldens") or {})
+        # Canonical benchmark order, matching a single-host campaign's
+        # manifest (and hence its JSON export) byte for byte.
+        self._manifest["goldens"] = {
+            name: goldens[name]
+            for name in self.spec.benchmarks
+            if name in goldens
+        }
+        new = 0
+        for key, record in done.items():
+            if key not in self._key_index:
+                continue  # foreign key: identity matched, so never happens
+            if key not in self._done:
+                self._done[key] = record
+                new += 1
+                self._executed_since_start += 1
+            else:
+                self._done[key] = canonical_winner(self._done[key], record)
+            self._failures.pop(key, None)
+        for key, record in failures.items():
+            if key not in self._key_index or key in self._done:
+                continue
+            if key not in self._failures:
+                self._failures[key] = record
+                new += 1
+            else:
+                self._failures[key] = canonical_winner(
+                    self._failures[key], record
+                )
+        return new
+
+    def _handled_keys(self) -> Set[str]:
+        return set(self._done) | set(self._failures)
+
+    def _refresh_shard_completion(self) -> None:
+        handled = self._handled_keys()
+        for shard in self.shards:
+            if shard.state == QUARANTINED:
+                continue
+            if all(key in handled for key in shard.keys):
+                shard.state = DONE
+                shard.clear_lease()
+
+    def _write_artifact(self) -> None:
+        if self._manifest is None:
+            return
+        records = list(self._done.values()) + list(self._failures.values())
+        write_sealed_checkpoint(self.artifact_path, self._manifest, records)
+
+    def _emit_progress(self, shard_index: int) -> None:
+        if not self.observers or self.spec is None:
+            return
+        total = len(self._key_index)
+        per_benchmark: Dict[str, List[int]] = {
+            name: [0, 0] for name in self.spec.benchmarks
+        }
+        for key, bench in self._key_benchmark.items():
+            per_benchmark[bench][1] += 1
+            if key in self._done or key in self._failures:
+                per_benchmark[bench][0] += 1
+        elapsed = max(self.clock() - self._started, 1e-9)
+        executed = self._executed_since_start
+        throughput = executed / elapsed if executed else 0.0
+        done = len(self._done) + len(self._failures)
+        event = ProgressEvent(
+            done=done,
+            total=total,
+            skipped=done - executed,
+            elapsed_s=elapsed,
+            throughput=throughput,
+            eta_s=(total - done) / throughput if throughput > 0 else None,
+            benchmark=None,
+            per_benchmark={
+                name: (d, t) for name, (d, t) in per_benchmark.items()
+            },
+            failed=len(self._failures),
+        )
+        for observer in self.observers:
+            observer(event)
+
+    # -- status / fetch --------------------------------------------------------
+
+    def campaign_done(self) -> bool:
+        return bool(self.shards) and all(
+            shard.state in (DONE, QUARANTINED) for shard in self.shards
+        )
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            if self.spec is None:
+                return {"state": "idle", "campaign": None}
+            self._expire_leases()
+            self._refresh_shard_completion()
+            now = self.clock()
+            by_state: Dict[str, int] = {}
+            for shard in self.shards:
+                by_state[shard.state] = by_state.get(shard.state, 0) + 1
+            return {
+                "state": "done" if self.campaign_done() else "running",
+                "campaign": self.spec.to_dict(),
+                "identity": self.spec.expected_manifest_identity(),
+                "total_tasks": len(self._key_index),
+                "done_tasks": len(self._done),
+                "quarantined_tasks": len(self._failures),
+                "shards": {
+                    "total": len(self.shards),
+                    **{s: by_state.get(s, 0)
+                       for s in (PENDING, LEASED, DONE, QUARANTINED)},
+                },
+                "quarantined_shards": [
+                    {"shard": s.index,
+                     "failed_on": sorted(s.failed_workers),
+                     "last_failure": s.last_failure}
+                    for s in self.shards if s.state == QUARANTINED
+                ],
+                # Shards that have been charged but not yet quarantined:
+                # the place to look when a campaign is bouncing.
+                "failing_shards": [
+                    {"shard": s.index,
+                     "failed_on": sorted(s.failed_workers),
+                     "last_failure": s.last_failure,
+                     "retry_in_s": round(max(0.0, s.not_before - now), 3)}
+                    for s in self.shards
+                    if s.failed_workers and s.state in (PENDING, LEASED)
+                ],
+                "workers": {
+                    worker: {"last_seen_s": round(now - seen, 3)}
+                    for worker, seen in sorted(self._workers_seen.items())
+                },
+                "artifact": (
+                    self.artifact_path
+                    if os.path.exists(self.artifact_path)
+                    else None
+                ),
+            }
+
+    def fetch_bytes(self) -> bytes:
+        with self._lock:
+            if not os.path.exists(self.artifact_path):
+                raise FabricError(
+                    "nothing merged yet: no shard has been uploaded"
+                )
+            with open(self.artifact_path, "rb") as handle:
+                return handle.read()
+
+
+# -- transports ----------------------------------------------------------------
+
+
+class FabricTransport(Protocol):
+    """What a worker (and the submit/status/fetch CLIs) need from the
+    coordinator, wherever it lives."""
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def request(self, worker: str) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def heartbeat(self, worker: str, shard: int, token: str) -> bool:
+        ...  # pragma: no cover
+
+    def upload(
+        self, worker: str, shard: int, token: Optional[str],
+        data: bytes, crc: int,
+    ) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def release(
+        self, worker: str, shard: int, token: Optional[str],
+        outcome: str, reason: str = "",
+    ) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def status(self) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def fetch(self) -> bytes:
+        ...  # pragma: no cover
+
+
+class LocalTransport:
+    """Same-process transport: direct calls into a coordinator (tests,
+    chaos scenarios, single-host embedding)."""
+
+    def __init__(self, coordinator: FabricCoordinator) -> None:
+        self.coordinator = coordinator
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        return self.coordinator.submit(spec)
+
+    def request(self, worker: str) -> Dict[str, object]:
+        return self.coordinator.request(worker)
+
+    def heartbeat(self, worker: str, shard: int, token: str) -> bool:
+        return self.coordinator.heartbeat(worker, shard, token)
+
+    def upload(self, worker, shard, token, data, crc):
+        return self.coordinator.upload(worker, shard, token, data, crc)
+
+    def release(self, worker, shard, token, outcome, reason=""):
+        return self.coordinator.release(worker, shard, token, outcome, reason)
+
+    def status(self) -> Dict[str, object]:
+        return self.coordinator.status()
+
+    def fetch(self) -> bytes:
+        return self.coordinator.fetch_bytes()
+
+
+class TransportError(RuntimeError):
+    """A transport-level failure (network, coordinator down) — retryable."""
+
+
+class HttpTransport:
+    """The urllib client half of the dirt-simple HTTP queue."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _call(
+        self, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> bytes:
+        import urllib.error
+        import urllib.request
+
+        url = self.base_url + path
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(body).get("error", body)
+            except (json.JSONDecodeError, AttributeError):
+                detail = body
+            raise TransportError(
+                f"{url}: HTTP {exc.code}: {detail}"
+            ) from exc
+        except (urllib.error.URLError, OSError, socket.timeout) as exc:
+            raise TransportError(f"{url}: {exc}") from exc
+
+    def _json(self, path, payload=None) -> Dict[str, object]:
+        return json.loads(self._call(path, payload))
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        return self._json("/api/submit", {"spec": spec})
+
+    def request(self, worker: str) -> Dict[str, object]:
+        return self._json("/api/request", {"worker": worker})
+
+    def heartbeat(self, worker: str, shard: int, token: str) -> bool:
+        return bool(
+            self._json(
+                "/api/heartbeat",
+                {"worker": worker, "shard": shard, "token": token},
+            ).get("ok")
+        )
+
+    def upload(self, worker, shard, token, data, crc):
+        return self._json(
+            "/api/upload",
+            {
+                "worker": worker,
+                "shard": shard,
+                "token": token,
+                "crc": crc,
+                "data": base64.b64encode(data).decode("ascii"),
+            },
+        )
+
+    def release(self, worker, shard, token, outcome, reason=""):
+        return self._json(
+            "/api/release",
+            {
+                "worker": worker,
+                "shard": shard,
+                "token": token,
+                "outcome": outcome,
+                "reason": reason,
+            },
+        )
+
+    def status(self) -> Dict[str, object]:
+        return self._json("/api/status")
+
+    def fetch(self) -> bytes:
+        return self._call("/api/fetch")
+
+
+def make_http_server(
+    coordinator: FabricCoordinator, host: str = "127.0.0.1", port: int = 0
+):
+    """A ThreadingHTTPServer speaking the fabric's JSON protocol.
+
+    Returns the server; ``server.server_address`` carries the bound port
+    (useful with ``port=0``). The caller runs ``serve_forever`` (or a
+    thread around it) and ``shutdown``s it.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt, *args):  # quiet: status polls are chatty
+            pass
+
+        def _reply(self, code: int, payload: Dict[str, object]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):
+            try:
+                if self.path == "/api/status":
+                    self._reply(200, coordinator.status())
+                elif self.path == "/api/fetch":
+                    data = coordinator.fetch_bytes()
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "application/octet-stream"
+                    )
+                    self.send_header("Content-Length", str(len(data)))
+                    self.end_headers()
+                    self.wfile.write(data)
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path}"})
+            except FabricError as exc:
+                self._reply(409, {"error": str(exc)})
+            except Exception as exc:  # never kill the server thread
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def do_POST(self):
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = json.loads(self.rfile.read(length) or b"{}")
+                if self.path == "/api/submit":
+                    self._reply(200, coordinator.submit(body["spec"]))
+                elif self.path == "/api/request":
+                    self._reply(200, coordinator.request(body["worker"]))
+                elif self.path == "/api/heartbeat":
+                    ok = coordinator.heartbeat(
+                        body["worker"], body["shard"], body["token"]
+                    )
+                    self._reply(200, {"ok": ok})
+                elif self.path == "/api/upload":
+                    self._reply(
+                        200,
+                        coordinator.upload(
+                            body["worker"],
+                            body["shard"],
+                            body.get("token"),
+                            base64.b64decode(body["data"]),
+                            body["crc"],
+                        ),
+                    )
+                elif self.path == "/api/release":
+                    self._reply(
+                        200,
+                        coordinator.release(
+                            body["worker"],
+                            body["shard"],
+                            body.get("token"),
+                            body.get("outcome", "failed"),
+                            body.get("reason", ""),
+                        ),
+                    )
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path}"})
+            except (FabricError, ValueError, KeyError) as exc:
+                self._reply(409, {"error": f"{type(exc).__name__}: {exc}"})
+            except Exception as exc:
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+# -- the worker ----------------------------------------------------------------
+
+
+class FabricWorker:
+    """Executes leased shards through the ordinary campaign engine.
+
+    Around each shard: a lease-renewal thread (one heartbeat per
+    ``ttl / 3``; a failed renewal requests a graceful drain of the engine
+    exactly like SIGTERM would), a fresh per-lease checkpoint file, and a
+    CRC-verified idempotent upload with capped jittered retry. A global
+    :class:`~repro.exec.durability.GracefulShutdown` latch (SIGTERM/SIGINT
+    in the CLI) drains the current shard, uploads the sealed partial and
+    releases the lease before exiting — the coordinator then hands the
+    remainder of the shard to someone else via ``skip_keys``.
+
+    Throughput knobs (jobs, snapshot interval, differential, batch size)
+    are the worker's own business: any mix across the fleet produces the
+    same merged artifact.
+    """
+
+    #: Upload attempts before a shard is abandoned to lease expiry.
+    UPLOAD_RETRIES = 5
+
+    def __init__(
+        self,
+        transport: FabricTransport,
+        worker_id: Optional[str] = None,
+        workdir: Optional[str] = None,
+        jobs: int = 1,
+        snapshot_interval: int = 250,
+        differential: bool = True,
+        batch_size: int = 8,
+        fault_policy: Optional[FaultPolicy] = None,
+        heartbeats: bool = True,
+        poll_s: Optional[float] = None,
+    ) -> None:
+        self.transport = transport
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.workdir = workdir or os.getcwd()
+        os.makedirs(self.workdir, exist_ok=True)
+        self.jobs = jobs
+        self.snapshot_interval = snapshot_interval
+        self.differential = differential
+        self.batch_size = batch_size
+        self.fault_policy = (
+            fault_policy if fault_policy is not None else FaultPolicy()
+        )
+        # Chaos knob: a worker that never heartbeats simulates a network
+        # partition (heartbeat blackhole) while still executing and
+        # uploading — the lease-expiry + overlapping-merge path.
+        self.heartbeats = heartbeats
+        self.poll_s = poll_s
+        self.shards_completed = 0
+        self._program_cache: Dict[str, Dict[str, object]] = {}
+
+    # -- campaign material -----------------------------------------------------
+
+    def _programs(self, spec: CampaignSpec) -> Dict[str, object]:
+        cache_key = json.dumps(spec.to_dict(), sort_keys=True)
+        if cache_key not in self._program_cache:
+            self._program_cache.clear()  # one campaign at a time
+            self._program_cache[cache_key] = spec.programs()
+        return self._program_cache[cache_key]
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, shutdown: Optional[GracefulShutdown] = None) -> int:
+        """Lease-execute-upload until the campaign is done (returns 0) or
+        the shutdown latch fires (returns
+        :data:`~repro.exec.durability.SHUTDOWN_EXIT_CODE`-compatible 75
+        semantics are the CLI's job; here: 0 on completion, 1 on repeated
+        transport failure)."""
+        shutdown = shutdown if shutdown is not None else GracefulShutdown()
+        consecutive_errors = 0
+        while not shutdown.requested:
+            try:
+                response = self.transport.request(self.worker_id)
+            except TransportError:
+                consecutive_errors += 1
+                if consecutive_errors > 30:
+                    return 1
+                time.sleep(
+                    backoff_with_jitter(consecutive_errors, 0.2, 5.0)
+                )
+                continue
+            consecutive_errors = 0
+            lease = response.get("lease")
+            if lease is None:
+                if response.get("done"):
+                    return 0
+                time.sleep(
+                    self.poll_s
+                    if self.poll_s is not None
+                    else float(response.get("retry_after_s", 1.0))
+                )
+                continue
+            self._run_lease(lease, shutdown)
+        return 0
+
+    def _run_lease(
+        self, lease: Dict[str, object], shutdown: GracefulShutdown
+    ) -> None:
+        from repro.exec.backends import ProcessPoolBackend, SerialBackend
+        from repro.exec.engine import run_engine
+
+        spec = CampaignSpec.from_dict(lease["spec"])
+        shard_index = lease["shard"]
+        token = lease["token"]
+        keys = [k for k in lease["keys"] if k not in set(lease["skip_keys"])]
+        if not keys:
+            self._safe_release(shard_index, token, "complete")
+            return
+
+        # The shard-local latch: requested by the global (signal) latch or
+        # by lease loss; either way the engine drains inflight work,
+        # flushes the shard checkpoint and returns a sealed partial.
+        shard_latch = GracefulShutdown()
+        lease_lost = threading.Event()
+        stop_beats = threading.Event()
+
+        def renew() -> None:
+            interval = max(0.05, float(lease["ttl_s"]) / 3.0)
+            while not stop_beats.wait(interval):
+                if shutdown.requested and not shard_latch.requested:
+                    shard_latch.request()
+                    continue
+                if not self.heartbeats:
+                    continue
+                try:
+                    alive = self.transport.heartbeat(
+                        self.worker_id, shard_index, token
+                    )
+                except TransportError:
+                    continue  # transient; the lease has ttl_s of slack
+                if not alive and not lease_lost.is_set():
+                    lease_lost.set()
+                    if not shard_latch.requested:
+                        shard_latch.request()
+
+        beater = threading.Thread(target=renew, daemon=True)
+        beater.start()
+        shard_path = os.path.join(
+            self.workdir, f"shard-{shard_index}-{token[:8]}.jsonl"
+        )
+        try:
+            policy = self.fault_policy
+            backend = (
+                ProcessPoolBackend(self.jobs, policy=policy)
+                if self.jobs > 1
+                else SerialBackend(policy=policy)
+            )
+            run_engine(
+                self._programs(spec),
+                spec.runs_per_model,
+                models=spec.model_enums,
+                seed=spec.seed,
+                config=spec.core_config(),
+                max_attempts=spec.max_attempts,
+                backend=backend,
+                checkpoint_path=shard_path,
+                snapshot_interval=self.snapshot_interval,
+                differential=(
+                    self.differential and self.snapshot_interval > 0
+                ),
+                batch_size=self.batch_size,
+                shutdown=shard_latch,
+                shard_keys=keys,
+            )
+            uploaded = self._upload_shard(shard_path, shard_index, token)
+            if shutdown.requested or shard_latch.requested:
+                self._safe_release(
+                    shard_index, token, "drain",
+                    reason="lease lost" if lease_lost.is_set() else "shutdown",
+                )
+            elif uploaded:
+                self._safe_release(shard_index, token, "complete")
+                self.shards_completed += 1
+            else:
+                self._safe_release(
+                    shard_index, token, "failed", reason="upload failed"
+                )
+        except Exception as exc:
+            # A worker-side hard failure (bad env, disk full, ...): hand
+            # the shard back charged; repeated offenders quarantine it.
+            print(
+                f"worker {self.worker_id}: shard {shard_index} failed: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            self._safe_release(
+                shard_index, token, "failed",
+                reason=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            stop_beats.set()
+            beater.join(timeout=5.0)
+            try:
+                os.unlink(shard_path)
+            except OSError:
+                pass
+
+    def _upload_shard(
+        self, shard_path: str, shard_index: int, token: str
+    ) -> bool:
+        if not os.path.exists(shard_path):
+            return False
+        with open(shard_path, "rb") as handle:
+            data = handle.read()
+        crc = zlib.crc32(data) & 0xFFFFFFFF
+        for attempt in range(1, self.UPLOAD_RETRIES + 1):
+            try:
+                response = self.transport.upload(
+                    self.worker_id, shard_index, token, data, crc
+                )
+            except TransportError:
+                response = None
+            if response is not None and response.get("ok"):
+                return True
+            if attempt < self.UPLOAD_RETRIES:
+                time.sleep(backoff_with_jitter(attempt, 0.2, 5.0))
+        return False
+
+    def _safe_release(
+        self, shard_index: int, token: str, outcome: str, reason: str = ""
+    ) -> None:
+        try:
+            self.transport.release(
+                self.worker_id, shard_index, token, outcome, reason
+            )
+        except TransportError:
+            pass  # the lease TTL reclaims the shard either way
+
+
+# -- CLI entry points ----------------------------------------------------------
+
+
+def _add_coordinator_arg(parser) -> None:
+    parser.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8757",
+    )
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``repro serve`` — run the campaign coordinator."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the distributed campaign coordinator.",
+    )
+    parser.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="where the spec and the continuously-merged artifact live; "
+        "restart on the same directory to resume a killed coordinator",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="0 picks a free port (written to DIR/coordinator.json) [0]",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="S",
+        help="seconds a shard lease survives without a heartbeat [60]",
+    )
+    parser.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="N",
+        help="distinct failing workers before a shard is poison [3]",
+    )
+    parser.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="print aggregate progress per merged shard "
+        "[auto: on when stderr is a TTY]",
+    )
+    args = parser.parse_args(argv)
+    from repro.exec.progress import ProgressPrinter
+
+    show = args.progress if args.progress is not None else sys.stderr.isatty()
+    try:
+        coordinator = FabricCoordinator(
+            args.state_dir,
+            policy=FabricPolicy(
+                lease_ttl_s=args.lease_ttl,
+                quarantine_after=args.quarantine_after,
+            ),
+            observers=[ProgressPrinter()] if show else [],
+        )
+    except (CheckpointError, ValueError) as exc:
+        print(f"cannot start coordinator: {exc}", file=sys.stderr)
+        return 2
+    server = make_http_server(coordinator, args.host, args.port)
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    atomic_write_text(
+        os.path.join(args.state_dir, "coordinator.json"),
+        json.dumps({"url": url}, sort_keys=True) + "\n",
+    )
+    resumed = ""
+    if coordinator.spec is not None:
+        done = sum(1 for s in coordinator.shards if s.state == DONE)
+        resumed = (
+            f" (resumed campaign: {done}/{len(coordinator.shards)} "
+            "shards already merged)"
+        )
+    print(f"fabric coordinator serving on {url}{resumed}", flush=True)
+    with GracefulShutdown() as shutdown:
+        # serve_forever polls, so a latched signal is noticed promptly.
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            while thread.is_alive() and not shutdown.requested:
+                time.sleep(0.2)
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+    print("coordinator stopped; state preserved in "
+          f"{args.state_dir} (restart to resume)", file=sys.stderr)
+    return 0
+
+
+def submit_main(argv: Optional[List[str]] = None) -> int:
+    """``repro submit`` — post a campaign spec to a coordinator."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit a campaign to a fabric coordinator.",
+    )
+    _add_coordinator_arg(parser)
+    parser.add_argument("--runs", type=int, required=True, metavar="N",
+                        help="injections per (benchmark, bug model) pair")
+    parser.add_argument("--benchmarks", default="all",
+                        help="comma-separated benchmark names, or 'all'")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--max-attempts", type=int, default=6)
+    parser.add_argument(
+        "--shard-size", type=int, default=25, metavar="N",
+        help="tasks per leased shard [25]",
+    )
+    args = parser.parse_args(argv)
+    from repro.workloads import WORKLOADS
+
+    names = (
+        list(WORKLOADS)
+        if args.benchmarks == "all"
+        else [n.strip() for n in args.benchmarks.split(",")]
+    )
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    try:
+        spec = CampaignSpec(
+            benchmarks=tuple(names),
+            runs_per_model=args.runs,
+            seed=args.seed,
+            scale=args.scale,
+            max_attempts=args.max_attempts,
+            shard_size=args.shard_size,
+        )
+        status = HttpTransport(args.coordinator).submit(spec.to_dict())
+    except (TransportError, ValueError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def status_main(argv: Optional[List[str]] = None) -> int:
+    """``repro status`` — print a coordinator's aggregate state."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro status",
+        description="Query a fabric coordinator's campaign status.",
+    )
+    _add_coordinator_arg(parser)
+    args = parser.parse_args(argv)
+    try:
+        status = HttpTransport(args.coordinator).status()
+    except TransportError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def fetch_main(argv: Optional[List[str]] = None) -> int:
+    """``repro fetch`` — download the merged artifact."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro fetch",
+        description="Fetch the coordinator's merged campaign artifact.",
+    )
+    _add_coordinator_arg(parser)
+    parser.add_argument(
+        "-o", "--output", required=True, metavar="PATH",
+        help="where to write the merged JSONL checkpoint",
+    )
+    args = parser.parse_args(argv)
+    try:
+        data = HttpTransport(args.coordinator).fetch()
+    except TransportError as exc:
+        print(f"fetch failed: {exc}", file=sys.stderr)
+        return 2
+    atomic_write_text(
+        args.output, data.decode("utf-8", errors="surrogateescape")
+    )
+    print(f"wrote {args.output} ({len(data)} bytes)")
+    return 0
+
+
+def work_main(argv: Optional[List[str]] = None) -> int:
+    """``repro work`` — run a fabric worker against a coordinator."""
+    import argparse
+
+    from repro.exec.durability import SHUTDOWN_EXIT_CODE
+
+    parser = argparse.ArgumentParser(
+        prog="repro work",
+        description="Execute leased campaign shards from a coordinator.",
+    )
+    _add_coordinator_arg(parser)
+    parser.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="where per-lease shard checkpoints are staged [cwd]",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per shard [1]")
+    parser.add_argument("--snapshot-interval", type=int, default=250,
+                        metavar="K")
+    parser.add_argument(
+        "--differential", action=argparse.BooleanOptionalAction, default=True
+    )
+    parser.add_argument("--batch-size", type=int, default=8, metavar="N")
+    parser.add_argument(
+        "--poll", type=float, default=None, metavar="S",
+        help="idle retry period [coordinator's hint]",
+    )
+    parser.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity [hostname-pid]",
+    )
+    parser.add_argument(
+        "--heartbeats",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="--no-heartbeats simulates a network partition (chaos only): "
+        "the worker executes and uploads but never renews its lease",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    worker = FabricWorker(
+        HttpTransport(args.coordinator),
+        worker_id=args.worker_id,
+        workdir=args.workdir,
+        jobs=args.jobs,
+        snapshot_interval=args.snapshot_interval,
+        differential=args.differential,
+        batch_size=args.batch_size,
+        heartbeats=args.heartbeats,
+        poll_s=args.poll,
+    )
+    with GracefulShutdown() as shutdown:
+        code = worker.run(shutdown)
+    if shutdown.requested:
+        print(
+            f"worker {worker.worker_id}: interrupted by "
+            f"{shutdown.signal_name}; drained the current shard, uploaded "
+            "the sealed partial and released the lease",
+            file=sys.stderr,
+        )
+        return SHUTDOWN_EXIT_CODE
+    if code == 0:
+        print(
+            f"worker {worker.worker_id}: campaign complete "
+            f"({worker.shards_completed} shard(s) finished here)"
+        )
+    return code

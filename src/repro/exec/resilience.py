@@ -26,6 +26,7 @@ every layer (core, bugs, exec, fuzz) can depend on it without cycles.
 
 from __future__ import annotations
 
+import random as _random
 import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -39,6 +40,32 @@ FAILURE_KINDS = ("exception", "timeout", "worker-crash")
 
 class FaultToleranceError(RuntimeError):
     """Raised in ``strict`` mode instead of quarantining or degrading."""
+
+
+def backoff_with_jitter(
+    attempt: int,
+    base_s: float,
+    max_s: float,
+    jitter: float = 0.5,
+    rng: Optional[_random.Random] = None,
+) -> float:
+    """Capped exponential backoff with multiplicative jitter.
+
+    ``attempt`` is 1-based: the first retry waits about ``base_s``, doubling
+    per attempt up to ``max_s``. The jitter then *subtracts* up to
+    ``jitter`` (a fraction in [0, 1]) of the delay, so the returned value
+    lies in ``[delay * (1 - jitter), delay]`` — the cap is an upper bound
+    either way. Jitter exists to break thundering herds: workers (or pool
+    respawns) that all failed at the same instant must not all retry at the
+    same instant too. ``rng`` pins the stream for tests; the default draws
+    from the module-level PRNG, which is exactly the per-process
+    decorrelation wanted in production.
+    """
+    delay = min(max_s, base_s * (2 ** max(0, attempt - 1)))
+    if jitter <= 0.0:
+        return delay
+    draw = (rng if rng is not None else _random).random()
+    return delay * (1.0 - jitter * draw)
 
 
 @dataclass(frozen=True)
@@ -67,6 +94,10 @@ class FaultPolicy:
         backoff_base_s: Initial sleep before respawning a broken pool;
             doubles per consecutive breakage up to ``backoff_max_s``.
         backoff_max_s: Exponential-backoff ceiling.
+        backoff_jitter: Fraction of each backoff delay randomly shaved off
+            (see :func:`backoff_with_jitter`), so workers that crashed
+            simultaneously don't thundering-herd their respawns. 0 restores
+            the deterministic schedule.
         fallback_serial: Degrade to :class:`SerialBackend`-style in-process
             execution when the pool keeps breaking, instead of aborting.
         strict: Fail hard (raise :class:`FaultToleranceError`) the moment
@@ -80,6 +111,7 @@ class FaultPolicy:
     max_pool_respawns: int = 3
     backoff_base_s: float = 0.5
     backoff_max_s: float = 30.0
+    backoff_jitter: float = 0.5
     fallback_serial: bool = True
     strict: bool = False
 
@@ -96,6 +128,10 @@ class FaultPolicy:
             raise ValueError(
                 f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
             )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
 
     @property
     def max_attempts_per_task(self) -> int:
@@ -108,10 +144,19 @@ class FaultPolicy:
             return None
         return self.task_timeout_s + self.watchdog_grace_s
 
-    def backoff_s(self, consecutive_breakages: int) -> float:
-        """Sleep before the Nth consecutive respawn (1-based)."""
-        exponent = max(0, consecutive_breakages - 1)
-        return min(self.backoff_max_s, self.backoff_base_s * (2 ** exponent))
+    def backoff_s(
+        self,
+        consecutive_breakages: int,
+        rng: Optional[_random.Random] = None,
+    ) -> float:
+        """Sleep before the Nth consecutive respawn (1-based), jittered."""
+        return backoff_with_jitter(
+            consecutive_breakages,
+            self.backoff_base_s,
+            self.backoff_max_s,
+            jitter=self.backoff_jitter,
+            rng=rng,
+        )
 
 
 @dataclass(frozen=True)

@@ -373,6 +373,53 @@ def test_aged_out_heartbeat_is_taken_over_even_for_live_pid(tmp_path):
     CheckpointLock(path, stale_after_s=60.0).acquire().release()
 
 
+def _plant_lock(path: str, owner: dict) -> None:
+    with open(lock_path_for(path), "w") as handle:
+        json.dump(dict({"created": time.time()}, **owner), handle)
+
+
+def test_cross_host_lock_is_refused_even_when_the_pid_is_dead_here(tmp_path):
+    """PID liveness carries no signal across machines: a lock recorded on
+    another host must never be taken over just because the same PID number
+    happens to be dead (or alive) on *this* one — only its heartbeat aging
+    out may clear it."""
+    path = str(tmp_path / "ck.jsonl")
+    probe = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True, text=True,
+    )
+    dead_here = int(probe.stdout)
+    _plant_lock(path, {"pid": dead_here, "host": "another-host"})
+    with pytest.raises(CheckpointLockedError, match="another-host"):
+        CheckpointLock(path).acquire()
+
+
+def test_same_pid_as_ours_on_another_host_is_refused(tmp_path):
+    """A fabric worker on host B may reuse host A's PID number; holding
+    that PID ourselves proves nothing about the remote owner."""
+    path = str(tmp_path / "ck.jsonl")
+    _plant_lock(path, {"pid": os.getpid(), "host": "another-host"})
+    with pytest.raises(CheckpointLockedError, match="another-host"):
+        CheckpointLock(path).acquire()
+
+
+def test_legacy_lock_without_host_only_ages_out(tmp_path):
+    """Locks written before the host field existed get no PID-based
+    takeover (their host is unknown), but still age out by heartbeat."""
+    path = str(tmp_path / "ck.jsonl")
+    probe = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True, text=True,
+    )
+    _plant_lock(path, {"pid": int(probe.stdout)})  # dead here, host unknown
+    with pytest.raises(CheckpointLockedError, match="an unrecorded host"):
+        CheckpointLock(path).acquire()
+    old = time.time() - 120
+    os.utime(lock_path_for(path), (old, old))
+    CheckpointLock(path, stale_after_s=60.0).acquire().release()
+    assert not os.path.exists(lock_path_for(path))
+
+
 # -- atomic writes -------------------------------------------------------------
 
 

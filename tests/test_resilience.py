@@ -10,6 +10,7 @@ bit-identical to a clean run, and a resume skips quarantined tasks.
 from __future__ import annotations
 
 import json
+import random
 
 import pytest
 
@@ -29,6 +30,7 @@ from repro.exec.resilience import (
     FaultPolicy,
     FaultToleranceError,
     TaskFailure,
+    backoff_with_jitter,
     failure_from_exception,
 )
 from repro.exec.tasks import generate_tasks
@@ -369,8 +371,29 @@ def test_fault_policy_validation():
 
 
 def test_backoff_is_exponential_and_capped():
-    policy = FaultPolicy(backoff_base_s=1.0, backoff_max_s=4.0)
+    # Jitter off: the deterministic exponential-with-cap schedule.
+    policy = FaultPolicy(backoff_base_s=1.0, backoff_max_s=4.0, backoff_jitter=0.0)
     assert [policy.backoff_s(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 4.0]
+
+
+def test_backoff_jitter_bounds_and_decorrelation():
+    policy = FaultPolicy(backoff_base_s=1.0, backoff_max_s=4.0)  # jitter 0.5
+    rng = random.Random(7)
+    draws = [policy.backoff_s(3, rng=rng) for _ in range(64)]
+    # Every draw stays inside [ceiling/2, ceiling] ...
+    assert all(2.0 <= d <= 4.0 for d in draws)
+    # ... and the draws genuinely spread out (no thundering herd).
+    assert len({round(d, 6) for d in draws}) > 32
+
+
+def test_backoff_with_jitter_helper():
+    rng = random.Random(1)
+    assert backoff_with_jitter(1, 0.5, 30.0, jitter=0.0) == 0.5
+    assert backoff_with_jitter(9, 0.5, 30.0, jitter=0.0) == 30.0
+    jittered = backoff_with_jitter(2, 0.5, 30.0, jitter=1.0, rng=rng)
+    assert 0.0 <= jittered <= 1.0
+    with pytest.raises(ValueError):
+        FaultPolicy(backoff_jitter=1.5)
 
 
 def test_attempt_tracker():
