@@ -50,6 +50,21 @@ byte-identical to a clean single-process ``--jobs 1`` run. A second,
 in-process scenario blackholes a worker's heartbeats on a fake clock and
 asserts lease expiry, reassignment, and a deterministic merge when both
 the silent and the replacement worker upload the same shard.
+
+``python -m repro.exec.chaos --net`` runs the network chaos smoke: a
+matrix of seeded :class:`~repro.exec.fabric.FaultyTransport` schedules
+(latency+drop, partition+heal, garbage+duplicate, truncate+blackhole)
+under which a worker must still finish the campaign with a merged
+artifact byte-identical to the serial reference and no shard ever
+double-charged; an authenticated end-to-end scenario (unauthenticated,
+wrong-secret, and replayed requests → 401 without state mutation; the
+authed artifact byte-identical to the unauthed reference; the secret
+leaking into no status output or artifact); and a permanent-partition
+scenario where the worker's circuit breaker trips, seals partial work
+to its workdir, exits 75, and a restarted worker on the same workdir
+recovers the sealed upload and completes the campaign bit-identically.
+Every schedule (seed and rules) is serialized next to the artifact it
+produced, so any failure replays exactly.
 """
 
 from __future__ import annotations
@@ -891,6 +906,366 @@ def _smoke_fabric() -> int:
     return 0
 
 
+# -- the network chaos smoke ---------------------------------------------------
+
+
+def _net_spec():
+    from repro.exec.fabric import CampaignSpec
+
+    return CampaignSpec(
+        benchmarks=(_FABRIC_BENCHMARK,),
+        runs_per_model=_FABRIC_RUNS,
+        seed=_FABRIC_SEED,
+        scale=_FABRIC_SCALE,
+        shard_size=_FABRIC_SHARD,
+    )
+
+
+def _net_mixes():
+    """The fault-schedule matrix: every kind the injector knows, mixed the
+    way real networks mix them. Each mix is (name, schedule)."""
+    from repro.exec.fabric import FaultRule, FaultSchedule
+
+    return (
+        (
+            "latency+drop",
+            FaultSchedule(seed=101, rules=(
+                FaultRule(kind="latency", p=0.3, latency_s=0.01),
+                FaultRule(kind="drop", p=0.25),
+            )),
+        ),
+        (
+            "partition+heal",
+            # Asymmetric outage windows per endpoint, then everything
+            # heals: calls inside the window never reach the coordinator.
+            FaultSchedule(seed=102, rules=(
+                FaultRule(kind="partition", endpoint="request",
+                          first_call=2, last_call=4),
+                FaultRule(kind="partition", endpoint="upload",
+                          first_call=1, last_call=3),
+                FaultRule(kind="partition", endpoint="heartbeat",
+                          first_call=1, last_call=5),
+            )),
+        ),
+        (
+            "garbage+duplicate",
+            FaultSchedule(seed=103, rules=(
+                FaultRule(kind="garbage", p=0.2),
+                FaultRule(kind="duplicate", p=0.3),
+            )),
+        ),
+        (
+            "truncate+blackhole",
+            # Responses destroyed *after* the request was applied — the
+            # pure idempotency torture: every retry re-applies something
+            # that already happened.
+            FaultSchedule(seed=104, rules=(
+                FaultRule(kind="truncate", endpoint="upload", p=0.25),
+                FaultRule(kind="blackhole-response", endpoint="request",
+                          p=0.2),
+                FaultRule(kind="blackhole-response", endpoint="release",
+                          p=0.5),
+            )),
+        ),
+    )
+
+
+def _net_check_artifact(coordinator, ref_csv: str, ref_json: str,
+                        what: str) -> None:
+    """The acceptance bar: CRC-clean and byte-identical to ``--jobs 1``."""
+    from repro.analysis.export import (
+        campaign_from_checkpoint,
+        to_csv,
+        to_json,
+    )
+    from repro.exec.cli import checkpoint_main
+
+    assert checkpoint_main(["verify", coordinator.artifact_path]) == 0, (
+        f"{what}: merged artifact must verify clean"
+    )
+    campaign = campaign_from_checkpoint(coordinator.artifact_path)
+    assert not campaign.failures, f"{what}: {campaign.failures}"
+    assert to_csv(campaign) == ref_csv, (
+        f"{what}: CSV export diverged from the serial reference"
+    )
+    assert to_json(campaign) == ref_json, (
+        f"{what}: JSON export diverged from the serial reference"
+    )
+
+
+def _smoke_net_mix(name: str, schedule, ref_csv: str, ref_json: str) -> None:
+    """One fault mix: a worker behind a FaultyTransport must finish the
+    campaign with a byte-identical artifact and no shard double-charged."""
+    import json as json_mod
+    import tempfile
+
+    from repro.exec.fabric import (
+        FabricCoordinator,
+        FabricPolicy,
+        FabricWorker,
+        FaultyTransport,
+        LocalTransport,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        coordinator = FabricCoordinator(
+            os.path.join(tmp, "state"),
+            policy=FabricPolicy(reassign_backoff_max_s=0.0),
+        )
+        coordinator.submit(_net_spec().to_dict())
+        faulty = FaultyTransport(
+            LocalTransport(coordinator),
+            schedule,
+            sleep=lambda s: time.sleep(min(s, 0.01)),  # test-speed latency
+        )
+        worker = FabricWorker(
+            faulty,
+            worker_id=f"net-{schedule.seed}",
+            workdir=os.path.join(tmp, "work"),
+            snapshot_interval=100,
+            poll_s=0.05,
+            sleep=lambda s: time.sleep(min(s, 0.02)),  # test-speed backoff
+        )
+        code = worker.run()
+        assert code == 0, f"{name}: worker exited {code}"
+        assert faulty.injected, (
+            f"{name}: the schedule injected nothing — this mix proves "
+            "nothing; widen its windows or raise its probabilities"
+        )
+        # A healed (or merely lossy) network must never charge a shard:
+        # charges are for dead/hung workers, and this worker was neither.
+        charged = [s.index for s in coordinator.shards if s.failed_workers]
+        assert not charged, f"{name}: shards {charged} were double-charged"
+        # The replay contract: the exact schedule rides with the artifact.
+        with open(
+            os.path.join(coordinator.state_dir, "fault-schedule.json"), "w"
+        ) as handle:
+            json_mod.dump(schedule.to_dict(), handle, sort_keys=True)
+        _net_check_artifact(coordinator, ref_csv, ref_json, name)
+        tally = faulty.injected_by_kind()
+    print(
+        f"net-chaos OK [{name}]: seed={schedule.seed}, "
+        f"injected={json_mod.dumps(tally, sort_keys=True)}, "
+        "artifact byte-identical to --jobs 1"
+    )
+
+
+def _smoke_net_auth(ref_csv: str, ref_json: str) -> None:
+    """Authenticated RPC end-to-end: forgeries and replays bounce off with
+    401 and no state change; the authed campaign is byte-identical; the
+    secret leaks nowhere."""
+    import json as json_mod
+    import tempfile
+    import threading as threading_mod
+    import urllib.error
+    import urllib.request
+
+    from repro.exec.fabric import (
+        FabricCoordinator,
+        FabricRejected,
+        FabricWorker,
+        HttpTransport,
+        NONCE_HEADER,
+        SIGNATURE_HEADER,
+        TIMESTAMP_HEADER,
+        make_http_server,
+        sign_request,
+    )
+
+    secret = b"net-chaos-shared-secret"
+    with tempfile.TemporaryDirectory() as tmp:
+        coordinator = FabricCoordinator(os.path.join(tmp, "state"))
+        server = make_http_server(coordinator, port=0, secret=secret)
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        thread = threading_mod.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            for label, transport in (
+                ("unauthenticated", HttpTransport(url, timeout_s=10.0)),
+                ("wrong-secret",
+                 HttpTransport(url, timeout_s=10.0, secret=b"not-it")),
+            ):
+                try:
+                    transport.status()
+                    raise AssertionError(
+                        f"a {label} request must be rejected"
+                    )
+                except FabricRejected as exc:
+                    assert exc.code == 401, f"{label}: {exc}"
+            assert coordinator.spec is None, (
+                "rejected requests must not have touched the coordinator"
+            )
+
+            authed = HttpTransport(url, timeout_s=10.0, secret=secret)
+            authed.submit(_net_spec().to_dict())
+
+            # A captured-and-resent request (same bytes, same nonce) is a
+            # replay: first send works, second bounces with 401 and the
+            # lease book doesn't move.
+            body = json_mod.dumps({"worker": "replay-w"}).encode("utf-8")
+            timestamp = f"{time.time():.3f}"
+            nonce = "replayed-nonce-0001"
+            headers = {
+                "Content-Type": "application/json",
+                TIMESTAMP_HEADER: timestamp,
+                NONCE_HEADER: nonce,
+                SIGNATURE_HEADER: sign_request(
+                    secret, "POST", "/api/request", timestamp, nonce, body
+                ),
+            }
+            first = json_mod.loads(
+                urllib.request.urlopen(
+                    urllib.request.Request(
+                        url + "/api/request", data=body, headers=headers
+                    ),
+                    timeout=10.0,
+                ).read()
+            )
+            assert first["lease"] is not None, first
+            grants_before = [s.grants for s in coordinator.shards]
+            try:
+                urllib.request.urlopen(
+                    urllib.request.Request(
+                        url + "/api/request", data=body, headers=headers
+                    ),
+                    timeout=10.0,
+                )
+                raise AssertionError("a replayed request must be rejected")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 401, exc
+            assert [s.grants for s in coordinator.shards] == grants_before, (
+                "the replay mutated the lease book"
+            )
+            authed.release(
+                "replay-w", first["lease"]["shard"],
+                first["lease"]["token"], "drain",
+            )
+
+            # The authed fleet must produce the same bytes as anyone else.
+            worker = FabricWorker(
+                authed,
+                worker_id="auth-w",
+                workdir=os.path.join(tmp, "work"),
+                snapshot_interval=100,
+                poll_s=0.05,
+            )
+            assert worker.run() == 0
+            _net_check_artifact(coordinator, ref_csv, ref_json, "auth")
+
+            # The secret must appear in no status output and no artifact.
+            status_blob = json_mod.dumps(authed.status())
+            with open(coordinator.artifact_path, "rb") as handle:
+                artifact_blob = handle.read()
+            assert secret.decode() not in status_blob, "secret in status"
+            assert secret not in artifact_blob, "secret in artifact"
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+    print(
+        "net-chaos OK [auth]: unauthenticated/wrong-secret/replayed all "
+        "401 without state change; authed artifact byte-identical; "
+        "secret leaked nowhere"
+    )
+
+
+def _smoke_net_breaker(ref_csv: str, ref_json: str) -> None:
+    """Permanent partition: the breaker trips, partial work is sealed to
+    the workdir, the worker exits 75 — and the documented resume (restart
+    in the same workdir once the network heals) completes the campaign
+    byte-identically. Runs on a fake clock so 'five minutes offline'
+    takes milliseconds."""
+    import tempfile
+
+    from repro.exec.durability import SHUTDOWN_EXIT_CODE
+    from repro.exec.fabric import (
+        FabricCoordinator,
+        FabricWorker,
+        FaultRule,
+        FaultSchedule,
+        FaultyTransport,
+        LocalTransport,
+    )
+
+    # Everything except the very first work request is partitioned away:
+    # the worker wins a lease, computes, and then finds the world gone.
+    schedule = FaultSchedule(seed=105, rules=(
+        FaultRule(kind="partition", endpoint="request", first_call=2),
+        FaultRule(kind="partition", endpoint="heartbeat"),
+        FaultRule(kind="partition", endpoint="upload"),
+        FaultRule(kind="partition", endpoint="release"),
+    ))
+    clock_now = [0.0]
+
+    def advancing_sleep(seconds: float) -> None:
+        clock_now[0] += seconds
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = os.path.join(tmp, "work")
+        coordinator = FabricCoordinator(os.path.join(tmp, "state"))
+        coordinator.submit(_net_spec().to_dict())
+        worker = FabricWorker(
+            FaultyTransport(LocalTransport(coordinator), schedule),
+            worker_id="breaker-w",
+            workdir=workdir,
+            snapshot_interval=100,
+            poll_s=0.05,
+            offline_budget_s=1.0,
+            clock=lambda: clock_now[0],
+            sleep=advancing_sleep,
+        )
+        code = worker.run()
+        assert code == SHUTDOWN_EXIT_CODE, (
+            f"a permanent partition must exit {SHUTDOWN_EXIT_CODE}, "
+            f"got {code}"
+        )
+        assert worker.offline, "the breaker must mark the run offline"
+        assert worker.sealed_paths and all(
+            os.path.exists(path) for path in worker.sealed_paths
+        ), "partial work must be sealed to the workdir"
+        assert coordinator.status()["done_tasks"] == 0, (
+            "nothing can have crossed a total partition"
+        )
+        print(
+            "net-chaos: breaker tripped after "
+            f"{worker.offline_budget_s:.0f}s (fake) offline; sealed "
+            f"{len(worker.sealed_paths)} partial(s); exit {code}"
+        )
+
+        # The resume hint, executed: same workdir, healed network.
+        resumed = FabricWorker(
+            LocalTransport(coordinator),
+            worker_id="breaker-w",
+            workdir=workdir,
+            snapshot_interval=100,
+            poll_s=0.05,
+        )
+        assert resumed.run() == 0
+        leftovers = [
+            path for path in worker.sealed_paths if os.path.exists(path)
+        ]
+        assert not leftovers, (
+            f"recovered seals must be deleted, found {leftovers}"
+        )
+        _net_check_artifact(coordinator, ref_csv, ref_json, "breaker-resume")
+    print(
+        "net-chaos OK [breaker]: sealed partial recovered on restart, "
+        "campaign completed byte-identical to --jobs 1"
+    )
+
+
+def _smoke_net() -> int:
+    _scrub_env()
+    ref_csv, ref_json = _fabric_reference()
+    for name, schedule in _net_mixes():
+        _smoke_net_mix(name, schedule, ref_csv, ref_json)
+    _smoke_net_auth(ref_csv, ref_json)
+    _smoke_net_breaker(ref_csv, ref_json)
+    return 0
+
+
 if __name__ == "__main__":
     import sys
 
@@ -898,4 +1273,6 @@ if __name__ == "__main__":
         raise SystemExit(_batch_child(sys.argv[2]))
     if len(sys.argv) > 1 and sys.argv[1] == "--fabric":
         raise SystemExit(_smoke_fabric())
+    if len(sys.argv) > 1 and sys.argv[1] == "--net":
+        raise SystemExit(_smoke_net())
     raise SystemExit(_smoke())

@@ -1,0 +1,130 @@
+"""The distributed campaign fabric: leased shards, heartbeats, merge-as-you-go.
+
+The paper's Section V evaluation is a 30,000-injection campaign — paper
+scale that one host grinds through serially. Every durability primitive a
+fleet needs already exists one layer down (CRC-sealed shard checkpoints,
+merge by manifest identity, single-writer locks, task-level quarantine,
+graceful drain); this package composes them into a coordinator/worker pair
+designed so every failure mode is *survived*, not avoided — including the
+network's:
+
+* :mod:`~repro.exec.fabric.spec` — :class:`CampaignSpec`, the fabric's
+  single source of truth for what a campaign *is*.
+* :mod:`~repro.exec.fabric.coordinator` — :class:`FabricCoordinator`:
+  shard planning, time-bounded leases with heartbeat renewal, poison-shard
+  quarantine, and continuous CRC-verified merge into one canonical
+  artifact that stays bit-identical to a ``--jobs 1`` run.
+* :mod:`~repro.exec.fabric.transport` — the :class:`FabricTransport`
+  protocol, its error taxonomy (:class:`TransportError` = transient and
+  retryable; :class:`FabricRejected` = definitive, surfaces immediately),
+  :class:`RetryingTransport` (per-call deadlines over jittered backoff),
+  the authenticated :class:`HttpTransport` client and the hardened
+  :func:`make_http_server` server.
+* :mod:`~repro.exec.fabric.auth` — HMAC-SHA256 request signing with
+  nonce/timestamp replay protection.
+* :mod:`~repro.exec.fabric.faults` — :class:`FaultyTransport`, the
+  seeded schedule-driven network fault injector the chaos suite drives.
+* :mod:`~repro.exec.fabric.worker` — :class:`FabricWorker`: lease,
+  execute, upload; graceful SIGTERM drain; and a circuit breaker that
+  seals partial work to disk and exits 75 when the coordinator is
+  unreachable past budget.
+* :mod:`~repro.exec.fabric.cli` — ``repro serve / submit / status /
+  fetch / work``.
+
+Determinism is inherited, not re-proved: every task carries its own
+derived seed, so the merged fleet artifact is classification-identical to
+the same campaign at ``--jobs 1`` no matter which workers — or which
+packets — died along the way.
+"""
+
+from repro.exec.fabric.auth import (
+    AUTH_WINDOW_S,
+    ENV_SECRET,
+    NONCE_HEADER,
+    RequestVerifier,
+    SIGNATURE_HEADER,
+    TIMESTAMP_HEADER,
+    canonical_message,
+    load_secret,
+    sign_request,
+)
+from repro.exec.fabric.cli import (
+    fetch_main,
+    serve_main,
+    status_main,
+    submit_main,
+    work_main,
+)
+from repro.exec.fabric.coordinator import (
+    DONE,
+    FabricCoordinator,
+    FabricError,
+    FabricPolicy,
+    LEASED,
+    PENDING,
+    QUARANTINED,
+    Shard,
+)
+from repro.exec.fabric.faults import (
+    ENDPOINTS,
+    FAULT_KINDS,
+    FaultRule,
+    FaultSchedule,
+    FaultyTransport,
+)
+from repro.exec.fabric.spec import CampaignSpec
+from repro.exec.fabric.transport import (
+    FabricCallError,
+    FabricRejected,
+    FabricTransport,
+    HttpTransport,
+    LocalTransport,
+    MAX_BODY_BYTES,
+    RetryPolicy,
+    RetryingTransport,
+    TransportError,
+    make_http_server,
+)
+from repro.exec.fabric.worker import FabricWorker
+
+__all__ = [
+    "AUTH_WINDOW_S",
+    "CampaignSpec",
+    "DONE",
+    "ENDPOINTS",
+    "ENV_SECRET",
+    "FAULT_KINDS",
+    "FabricCallError",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricPolicy",
+    "FabricRejected",
+    "FabricTransport",
+    "FabricWorker",
+    "FaultRule",
+    "FaultSchedule",
+    "FaultyTransport",
+    "HttpTransport",
+    "LEASED",
+    "LocalTransport",
+    "MAX_BODY_BYTES",
+    "NONCE_HEADER",
+    "PENDING",
+    "QUARANTINED",
+    "RequestVerifier",
+    "RetryPolicy",
+    "RetryingTransport",
+    "SIGNATURE_HEADER",
+    "Shard",
+    "TIMESTAMP_HEADER",
+    "TransportError",
+    "canonical_message",
+    "fetch_main",
+    "load_secret",
+    "make_http_server",
+    "serve_main",
+    "sign_request",
+    "status_main",
+    "submit_main",
+    "work_main",
+]

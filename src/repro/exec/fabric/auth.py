@@ -1,0 +1,155 @@
+"""Authenticated fabric RPC: HMAC-SHA256 request signing with replay guard.
+
+The fabric's HTTP protocol is designed for fleets that may span hosts and
+networks the operator does not fully trust. Authentication is a shared
+secret: every request is signed with HMAC-SHA256 over a canonical message
+binding the method, path, a per-request nonce, a timestamp and a digest of
+the body — so a request cannot be forged, replayed, redirected to another
+endpoint, or have its payload swapped without the signature breaking.
+
+Design rules, all load-bearing:
+
+* **The secret never rides in argv.** It is read from ``--secret-file`` or
+  the ``REPRO_FABRIC_SECRET`` environment variable (:func:`load_secret`);
+  process listings and shell history never see it, and nothing in this
+  package logs, stores or serves it.
+* **Verification is constant-time** (:func:`hmac.compare_digest`), so a
+  byte-by-byte timing oracle cannot recover the signature.
+* **Replays are rejected.** Each request carries a fresh random nonce and
+  a wall-clock timestamp; the verifier refuses timestamps outside its
+  window and nonces it has already seen within the window (the nonce cache
+  is pruned by the same window, so it stays bounded). Re-sending captured
+  request bytes — the duplicated-packet failure mode as much as the
+  malicious one — yields a 401, not a second state change.
+* **Rejections carry no detail.** An unauthenticated or bad-signature
+  request gets a bare 401 ``unauthorized``: no hint about which check
+  failed, nothing to iterate an attack against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import threading
+import time
+from typing import Callable, Mapping, Optional
+
+#: Headers carrying the three signature components.
+SIGNATURE_HEADER = "X-Repro-Signature"
+NONCE_HEADER = "X-Repro-Nonce"
+TIMESTAMP_HEADER = "X-Repro-Timestamp"
+
+#: Environment variable consulted when no ``--secret-file`` is given.
+ENV_SECRET = "REPRO_FABRIC_SECRET"
+
+#: Default freshness window (seconds) for timestamps and the nonce cache.
+AUTH_WINDOW_S = 120.0
+
+
+def load_secret(secret_file: Optional[str] = None) -> Optional[bytes]:
+    """Resolve the shared secret: ``secret_file`` first, then the
+    ``REPRO_FABRIC_SECRET`` environment variable, else None (auth off).
+
+    The file's content is stripped of surrounding whitespace so a trailing
+    newline from ``echo`` doesn't silently split a fleet into two keys.
+    """
+    if secret_file:
+        with open(secret_file, "rb") as handle:
+            secret = handle.read().strip()
+        if not secret:
+            raise ValueError(f"{secret_file}: secret file is empty")
+        return secret
+    env = os.environ.get(ENV_SECRET)
+    if env:
+        return env.encode("utf-8")
+    return None
+
+
+def canonical_message(
+    method: str, path: str, timestamp: str, nonce: str, body: bytes
+) -> bytes:
+    """The exact bytes both sides MAC: method, path, timestamp, nonce and
+    a SHA-256 digest of the body, newline-joined. Hashing the body (rather
+    than splicing it in) keeps the message fixed-size and injection-proof:
+    no body byte sequence can masquerade as another field."""
+    return "\n".join(
+        (method, path, timestamp, nonce, hashlib.sha256(body).hexdigest())
+    ).encode("utf-8")
+
+
+def sign_request(
+    secret: bytes,
+    method: str,
+    path: str,
+    timestamp: str,
+    nonce: str,
+    body: bytes,
+) -> str:
+    """HMAC-SHA256 signature (hex) over the canonical request message."""
+    return hmac.new(
+        secret, canonical_message(method, path, timestamp, nonce, body),
+        hashlib.sha256,
+    ).hexdigest()
+
+
+class RequestVerifier:
+    """Server-side verification: signature, freshness window, nonce cache.
+
+    Thread-safe (HTTP handler threads share one verifier). ``clock`` is
+    injectable for tests; production uses wall-clock ``time.time`` because
+    the timestamp must be comparable across hosts.
+    """
+
+    def __init__(
+        self,
+        secret: bytes,
+        window_s: float = AUTH_WINDOW_S,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not secret:
+            raise ValueError("an empty secret authenticates nothing")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self.secret = secret
+        self.window_s = window_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._seen_nonces: dict = {}  # nonce -> arrival time
+
+    def verify(
+        self, method: str, path: str, headers: Mapping[str, str], body: bytes
+    ) -> bool:
+        """True iff the request is authentically signed, fresh, and not a
+        replay. Any failure — missing headers, bad timestamp, wrong MAC,
+        stale nonce — returns a bare False; callers answer 401 without
+        detail."""
+        signature = headers.get(SIGNATURE_HEADER, "")
+        nonce = headers.get(NONCE_HEADER, "")
+        timestamp = headers.get(TIMESTAMP_HEADER, "")
+        if not signature or not nonce or not timestamp:
+            return False
+        try:
+            sent_at = float(timestamp)
+        except ValueError:
+            return False
+        now = self.clock()
+        if abs(now - sent_at) > self.window_s:
+            return False
+        expected = sign_request(
+            self.secret, method, path, timestamp, nonce, body
+        )
+        # Constant-time: no byte-position timing oracle on the signature.
+        if not hmac.compare_digest(expected, signature):
+            return False
+        # Only authentically-signed nonces enter the cache (an attacker
+        # must not be able to pre-poison nonces it cannot sign for).
+        with self._lock:
+            cutoff = now - self.window_s
+            self._seen_nonces = {
+                n: t for n, t in self._seen_nonces.items() if t >= cutoff
+            }
+            if nonce in self._seen_nonces:
+                return False  # replay: same signed bytes seen again
+            self._seen_nonces[nonce] = now
+        return True

@@ -1,0 +1,291 @@
+"""Deterministic network fault injection for fabric transports.
+
+:class:`FaultyTransport` wraps any :class:`~repro.exec.fabric.transport
+.FabricTransport` — :class:`LocalTransport` for unit-speed chaos,
+:class:`HttpTransport` for end-to-end — and injects the network's whole
+repertoire of hostility on a *seeded schedule*: every injected fault is
+a pure function of ``(seed, rule, endpoint, call number)``, so a failing
+chaos run replays bit-for-bit from the schedule serialized into its
+artifact. No wall-clock, no global PRNG, no flakes.
+
+The fault kinds split along the one axis that matters for correctness —
+**did the request reach the coordinator before the failure?**
+
+* ``drop`` / ``partition`` — no. The request never arrives; the caller
+  sees :class:`TransportError` and no coordinator state changed. A
+  retry is trivially safe. ``partition`` is just ``drop`` at p=1.0 over
+  a call window — the idiom for "endpoint X is unreachable from calls
+  N through M, then heals".
+* ``blackhole-response`` / ``truncate`` / ``garbage`` — yes. The inner
+  call runs to completion (coordinator state *changed*), then the
+  response is destroyed three different ways a real network destroys
+  responses. The caller cannot distinguish this from ``drop`` — which
+  is exactly the point: these kinds prove the protocol is idempotent,
+  because the retry re-applies a request that already happened.
+* ``duplicate`` — the request arrives *twice* (retransmission, confused
+  proxy); the caller sees the first response. Proves at-least-once
+  delivery converges.
+* ``latency`` — the request is merely late. Exercises timeout and
+  lease-TTL margins without changing semantics.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exec.fabric.transport import FabricTransport, TransportError
+
+#: Fault kinds a rule may inject, grouped by where the failure bites.
+FAULT_KINDS = (
+    "latency",             # delay, then proceed normally
+    "drop",                # request never reaches the coordinator
+    "partition",           # drop, idiomatically p=1.0 over a call window
+    "blackhole-response",  # request applied; response never comes back
+    "truncate",            # request applied; response cut short
+    "garbage",             # request applied; response is not JSON
+    "duplicate",           # request applied twice; first response returned
+)
+
+#: Endpoint names a rule may target ("*" matches all of them).
+ENDPOINTS = (
+    "submit", "request", "heartbeat", "upload", "release", "status", "fetch",
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault schedule.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        endpoint: Which transport method the rule watches, or ``"*"``.
+        p: Probability the rule fires on each matching call (drawn from
+            the schedule's seeded stream, so it is deterministic per
+            (seed, rule, endpoint, call)).
+        first_call / last_call: 1-based window on the per-endpoint call
+            counter: the rule is live from the ``first_call``-th call to
+            that endpoint through the ``last_call``-th (``None`` = no
+            upper bound). ``partition`` + a window is how "outage from
+            call 3 to call 7, then healed" is spelled.
+        latency_s: Injected delay for ``latency`` rules.
+    """
+
+    kind: str
+    endpoint: str = "*"
+    p: float = 1.0
+    first_call: int = 1
+    last_call: Optional[int] = None
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}"
+            )
+        if self.endpoint != "*" and self.endpoint not in ENDPOINTS:
+            raise ValueError(
+                f"unknown endpoint {self.endpoint!r}; "
+                f"expected '*' or one of {', '.join(ENDPOINTS)}"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+        if self.first_call < 1:
+            raise ValueError(
+                f"first_call is 1-based, got {self.first_call}"
+            )
+        if self.last_call is not None and self.last_call < self.first_call:
+            raise ValueError(
+                f"last_call {self.last_call} precedes "
+                f"first_call {self.first_call}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+
+    def matches(self, endpoint: str, call_n: int) -> bool:
+        """Is this rule live for the ``call_n``-th call to ``endpoint``?"""
+        if self.endpoint != "*" and self.endpoint != endpoint:
+            return False
+        if call_n < self.first_call:
+            return False
+        if self.last_call is not None and call_n > self.last_call:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "endpoint": self.endpoint,
+            "p": self.p,
+            "first_call": self.first_call,
+            "last_call": self.last_call,
+            "latency_s": self.latency_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultRule":
+        return cls(
+            kind=data["kind"],
+            endpoint=data.get("endpoint", "*"),
+            p=data.get("p", 1.0),
+            first_call=data.get("first_call", 1),
+            last_call=data.get("last_call"),
+            latency_s=data.get("latency_s", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seed plus an ordered list of rules — the whole reproducibility
+    contract of a chaos run. Serialize it (``to_dict``) into the run's
+    artifact; feed the dict back (``from_dict``) to replay every fault
+    at the same calls with the same outcomes."""
+
+    seed: int
+    rules: Tuple[FaultRule, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSchedule":
+        return cls(
+            seed=data["seed"],
+            rules=tuple(
+                FaultRule.from_dict(r) for r in data.get("rules", ())
+            ),
+        )
+
+
+class FaultyTransport:
+    """A :class:`FabricTransport` that mistreats another one on schedule.
+
+    Rules are evaluated in order per call; ``latency`` rules accumulate
+    (sleep, continue to the next rule), the first firing *failure* rule
+    wins. Everything injected is appended to :attr:`injected` —
+    ``{"call", "endpoint", "kind", "rule"}`` — so a chaos scenario can
+    assert its faults actually fired (a fault matrix that silently
+    injects nothing proves nothing) and log the tally.
+
+    ``sleep`` is injectable so latency scenarios run at test speed.
+    """
+
+    def __init__(
+        self,
+        inner: FabricTransport,
+        schedule: FaultSchedule,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.schedule = schedule
+        self._sleep = sleep
+        self._counts: Dict[str, int] = {}
+        self.injected: List[Dict[str, object]] = []
+
+    def _fires(self, rule_idx: int, rule: FaultRule,
+               endpoint: str, call_n: int) -> bool:
+        if rule.p >= 1.0:
+            return True
+        # One private, replayable stream per (seed, rule, endpoint, call):
+        # insensitive to rule evaluation order and to draws other rules make.
+        draw = random.Random(
+            f"{self.schedule.seed}:{rule_idx}:{endpoint}:{call_n}"
+        ).random()
+        return draw < rule.p
+
+    def _apply(self, endpoint: str, call):
+        """Run ``call`` under whatever the schedule dictates for it."""
+        call_n = self._counts.get(endpoint, 0) + 1
+        self._counts[endpoint] = call_n
+        fault: Optional[Tuple[int, FaultRule]] = None
+        for idx, rule in enumerate(self.schedule.rules):
+            if not rule.matches(endpoint, call_n):
+                continue
+            if not self._fires(idx, rule, endpoint, call_n):
+                continue
+            if rule.kind == "latency":
+                self._note(call_n, endpoint, idx, rule)
+                self._sleep(rule.latency_s)
+                continue  # latency composes with a later failure rule
+            fault = (idx, rule)
+            break
+        if fault is None:
+            return call()
+        idx, rule = fault
+        self._note(call_n, endpoint, idx, rule)
+        if rule.kind in ("drop", "partition"):
+            # The request never reaches the coordinator: no state change.
+            raise TransportError(
+                f"injected {rule.kind}: {endpoint} call {call_n} "
+                "never reached the coordinator"
+            )
+        if rule.kind in ("blackhole-response", "truncate", "garbage"):
+            # The request is APPLIED, then the response is destroyed —
+            # the caller must treat this exactly like a drop, and only
+            # an idempotent protocol survives the retry that follows.
+            call()
+            raise TransportError(
+                f"injected {rule.kind}: {endpoint} call {call_n} was "
+                "applied but its response was lost"
+            )
+        if rule.kind == "duplicate":
+            first = call()
+            try:
+                call()  # the retransmission's outcome is invisible
+            except Exception:
+                pass
+            return first
+        raise AssertionError(f"unhandled fault kind {rule.kind}")
+
+    def _note(self, call_n: int, endpoint: str,
+              rule_idx: int, rule: FaultRule) -> None:
+        self.injected.append({
+            "call": call_n,
+            "endpoint": endpoint,
+            "kind": rule.kind,
+            "rule": rule_idx,
+        })
+
+    def injected_by_kind(self) -> Dict[str, int]:
+        """Tally of injected faults, for scenario assertions and logs."""
+        tally: Dict[str, int] = {}
+        for entry in self.injected:
+            tally[entry["kind"]] = tally.get(entry["kind"], 0) + 1
+        return tally
+
+    # -- FabricTransport -------------------------------------------------------
+
+    def submit(self, spec):
+        return self._apply("submit", lambda: self.inner.submit(spec))
+
+    def request(self, worker):
+        return self._apply("request", lambda: self.inner.request(worker))
+
+    def heartbeat(self, worker, shard, token):
+        return self._apply(
+            "heartbeat", lambda: self.inner.heartbeat(worker, shard, token)
+        )
+
+    def upload(self, worker, shard, token, data, crc):
+        return self._apply(
+            "upload",
+            lambda: self.inner.upload(worker, shard, token, data, crc),
+        )
+
+    def release(self, worker, shard, token, outcome, reason=""):
+        return self._apply(
+            "release",
+            lambda: self.inner.release(worker, shard, token, outcome, reason),
+        )
+
+    def status(self):
+        return self._apply("status", lambda: self.inner.status())
+
+    def fetch(self):
+        return self._apply("fetch", lambda: self.inner.fetch())

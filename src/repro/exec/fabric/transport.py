@@ -1,0 +1,544 @@
+"""Fabric transports: the RPC protocol, its error taxonomy, and retries.
+
+Everything in the fabric speaks :class:`FabricTransport`. Three
+implementations compose:
+
+* :class:`LocalTransport` — direct in-process calls (tests, chaos,
+  single-host embedding).
+* :class:`HttpTransport` / :func:`make_http_server` — the stdlib-HTTP
+  pair the CLIs use, optionally authenticated (HMAC request signing, see
+  :mod:`repro.exec.fabric.auth`).
+* :class:`RetryingTransport` — a policy wrapper that retries *transient*
+  failures under capped jittered backoff with a per-call deadline.
+
+The error taxonomy is the load-bearing part. :class:`TransportError`
+(the network failed, the coordinator is down, the response was garbled —
+*retry may help*) and :class:`FabricRejected` (the coordinator answered
+and said no — *retry cannot help*) are siblings under
+:class:`FabricCallError`, deliberately not subclasses of each other:
+retry loops catch ``TransportError`` and can never accidentally burn a
+backoff ladder on a definitive rejection, while callers that just want
+"the call failed" catch the base class. Retrying is safe end-to-end
+because every endpoint is idempotent: lease requests return the worker's
+existing lease, heartbeats and releases converge, and uploads dedup by
+content.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.exec.fabric.auth import (
+    NONCE_HEADER,
+    RequestVerifier,
+    SIGNATURE_HEADER,
+    TIMESTAMP_HEADER,
+    sign_request,
+)
+from repro.exec.fabric.coordinator import FabricError
+from repro.exec.resilience import backoff_with_jitter
+
+try:  # pragma: no cover - 3.8+ always has Protocol
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+#: Largest request body the HTTP server will read (shard uploads are a
+#: few hundred KB even for generous shard sizes; anything near this is
+#: hostile or broken, and answering 413 beats buffering it).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class FabricCallError(RuntimeError):
+    """Base for 'a fabric call did not succeed', whatever the reason.
+
+    Catch this when the distinction doesn't matter (CLI error paths);
+    catch the subclasses when it does (retry loops)."""
+
+
+class TransportError(FabricCallError):
+    """A transient transport failure — connection refused, timeout,
+    coordinator down, truncated or garbled response. Retrying may help;
+    every fabric endpoint is idempotent, so retrying is also *safe*."""
+
+
+class FabricRejected(FabricCallError):
+    """The coordinator processed the request and definitively rejected it
+    (HTTP 4xx: bad request, unauthorized, unknown endpoint, conflicting
+    campaign). Retrying the same request cannot succeed; surface it.
+
+    Attributes:
+        code: The HTTP status code, when the rejection came over HTTP.
+    """
+
+    def __init__(self, message: str, code: int = 0) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class FabricTransport(Protocol):
+    """What a worker (and the submit/status/fetch CLIs) need from the
+    coordinator, wherever it lives."""
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def request(self, worker: str) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def heartbeat(self, worker: str, shard: int, token: str) -> bool:
+        ...  # pragma: no cover
+
+    def upload(
+        self, worker: str, shard: int, token: Optional[str],
+        data: bytes, crc: int,
+    ) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def release(
+        self, worker: str, shard: int, token: Optional[str],
+        outcome: str, reason: str = "",
+    ) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def status(self) -> Dict[str, object]:
+        ...  # pragma: no cover
+
+    def fetch(self) -> bytes:
+        ...  # pragma: no cover
+
+
+class LocalTransport:
+    """Same-process transport: direct calls into a coordinator (tests,
+    chaos scenarios, single-host embedding)."""
+
+    def __init__(self, coordinator) -> None:
+        self.coordinator = coordinator
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        return self.coordinator.submit(spec)
+
+    def request(self, worker: str) -> Dict[str, object]:
+        return self.coordinator.request(worker)
+
+    def heartbeat(self, worker: str, shard: int, token: str) -> bool:
+        return self.coordinator.heartbeat(worker, shard, token)
+
+    def upload(self, worker, shard, token, data, crc):
+        return self.coordinator.upload(worker, shard, token, data, crc)
+
+    def release(self, worker, shard, token, outcome, reason=""):
+        return self.coordinator.release(worker, shard, token, outcome, reason)
+
+    def status(self) -> Dict[str, object]:
+        return self.coordinator.status()
+
+    def fetch(self) -> bytes:
+        return self.coordinator.fetch_bytes()
+
+
+# -- retry policy --------------------------------------------------------------
+
+
+@dataclass
+class RetryPolicy:
+    """How :class:`RetryingTransport` retries transient failures.
+
+    Attributes:
+        deadline_s: Wall-clock budget per *call* (not per attempt): once
+            exceeded, the last :class:`TransportError` is re-raised to the
+            caller. The caller's own loop (the worker's request loop, its
+            circuit breaker) decides what an exhausted call means.
+        base_s / max_s / jitter: The :func:`backoff_with_jitter` schedule
+            between attempts. Sleeps are clipped so a retry never overruns
+            the deadline just to wait.
+        clock / sleep: Injectable for tests (fake time, no real sleeping).
+    """
+
+    deadline_s: float = 60.0
+    base_s: float = 0.2
+    max_s: float = 5.0
+    jitter: float = 0.5
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+
+
+class RetryingTransport:
+    """Retries transient :class:`TransportError` under a per-call deadline.
+
+    :class:`FabricRejected` passes straight through — a definitive
+    rejection must surface immediately, never burn the backoff ladder.
+    Safe to wrap any :class:`FabricTransport` because the protocol is
+    idempotent end-to-end (see module docstring).
+    """
+
+    def __init__(
+        self, inner: FabricTransport, policy: Optional[RetryPolicy] = None
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+
+    def _retry(self, fn):
+        policy = self.policy
+        start = policy.clock()
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransportError:
+                attempt += 1
+                elapsed = policy.clock() - start
+                if elapsed >= policy.deadline_s:
+                    raise
+                delay = backoff_with_jitter(
+                    attempt, policy.base_s, policy.max_s, jitter=policy.jitter
+                )
+                # Never sleep past the deadline just to time out then.
+                policy.sleep(
+                    min(delay, max(0.0, policy.deadline_s - elapsed))
+                )
+
+    def submit(self, spec):
+        return self._retry(lambda: self.inner.submit(spec))
+
+    def request(self, worker):
+        return self._retry(lambda: self.inner.request(worker))
+
+    def heartbeat(self, worker, shard, token):
+        return self._retry(lambda: self.inner.heartbeat(worker, shard, token))
+
+    def upload(self, worker, shard, token, data, crc):
+        return self._retry(
+            lambda: self.inner.upload(worker, shard, token, data, crc)
+        )
+
+    def release(self, worker, shard, token, outcome, reason=""):
+        return self._retry(
+            lambda: self.inner.release(worker, shard, token, outcome, reason)
+        )
+
+    def status(self):
+        return self._retry(lambda: self.inner.status())
+
+    def fetch(self):
+        return self._retry(lambda: self.inner.fetch())
+
+
+# -- HTTP client ---------------------------------------------------------------
+
+
+class HttpTransport:
+    """The urllib client half of the dirt-simple HTTP queue.
+
+    With ``secret`` set, every request is HMAC-signed (method, path,
+    timestamp, fresh nonce, body digest — see
+    :mod:`repro.exec.fabric.auth`); without one, requests go out bare and
+    a secured coordinator will answer 401. Responses that fail to parse
+    as JSON — truncated, garbled, or from something that isn't a fabric
+    coordinator — raise :class:`TransportError` (the response is
+    unusable, but the request may well have been applied; idempotency
+    makes the retry safe). HTTP 4xx raises :class:`FabricRejected`,
+    anything else transport-shaped raises :class:`TransportError`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        secret: Optional[bytes] = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.secret = secret
+
+    def _call(
+        self, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> bytes:
+        import urllib.error
+        import urllib.request
+
+        url = self.base_url + path
+        method = "GET" if payload is None else "POST"
+        body = b""
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self.secret is not None:
+            timestamp = f"{time.time():.3f}"
+            nonce = uuid.uuid4().hex
+            headers[TIMESTAMP_HEADER] = timestamp
+            headers[NONCE_HEADER] = nonce
+            headers[SIGNATURE_HEADER] = sign_request(
+                self.secret, method, path, timestamp, nonce, body
+            )
+        request = urllib.request.Request(
+            url, data=body if payload is not None else None, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            detail_body = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail_body).get("error", detail_body)
+            except (json.JSONDecodeError, AttributeError):
+                detail = detail_body
+            message = f"{url}: HTTP {exc.code}: {detail}"
+            if 400 <= exc.code < 500:
+                # The coordinator answered and said no. Retrying the same
+                # request cannot change its mind — surface it now.
+                raise FabricRejected(message, code=exc.code) from exc
+            raise TransportError(message) from exc
+        except (urllib.error.URLError, OSError, socket.timeout) as exc:
+            raise TransportError(f"{url}: {exc}") from exc
+
+    def _json(self, path, payload=None) -> Dict[str, object]:
+        raw = self._call(path, payload)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            # Truncated or garbled response: the server may have applied
+            # the request, but we cannot know — idempotency makes the
+            # retry safe either way.
+            raise TransportError(
+                f"{self.base_url}{path}: unparseable response "
+                f"({len(raw)} bytes): {exc}"
+            ) from exc
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        return self._json("/api/submit", {"spec": spec})
+
+    def request(self, worker: str) -> Dict[str, object]:
+        return self._json("/api/request", {"worker": worker})
+
+    def heartbeat(self, worker: str, shard: int, token: str) -> bool:
+        return bool(
+            self._json(
+                "/api/heartbeat",
+                {"worker": worker, "shard": shard, "token": token},
+            ).get("ok")
+        )
+
+    def upload(self, worker, shard, token, data, crc):
+        return self._json(
+            "/api/upload",
+            {
+                "worker": worker,
+                "shard": shard,
+                "token": token,
+                "crc": crc,
+                "data": base64.b64encode(data).decode("ascii"),
+            },
+        )
+
+    def release(self, worker, shard, token, outcome, reason=""):
+        return self._json(
+            "/api/release",
+            {
+                "worker": worker,
+                "shard": shard,
+                "token": token,
+                "outcome": outcome,
+                "reason": reason,
+            },
+        )
+
+    def status(self) -> Dict[str, object]:
+        return self._json("/api/status")
+
+    def fetch(self) -> bytes:
+        return self._call("/api/fetch")
+
+
+# -- HTTP server ---------------------------------------------------------------
+
+
+def make_http_server(
+    coordinator,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    secret: Optional[bytes] = None,
+    max_body_bytes: int = MAX_BODY_BYTES,
+):
+    """A ThreadingHTTPServer speaking the fabric's JSON protocol.
+
+    Returns the server; ``server.server_address`` carries the bound port
+    (useful with ``port=0``). The caller runs ``serve_forever`` (or a
+    thread around it) and ``shutdown``s it.
+
+    Hardened against garbage from the open network: request bodies are
+    bounded (oversized → 413 without reading the body), malformed JSON
+    or base64 answers 400 with a one-line error, and no input can raise
+    a traceback into the response or wedge a handler thread (a 30s
+    socket timeout bounds slow-loris clients). With ``secret`` set,
+    every request must carry a valid signature
+    (:class:`~repro.exec.fabric.auth.RequestVerifier`); failures answer
+    a bare 401 ``unauthorized`` with no hint of which check failed.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    verifier = RequestVerifier(secret) if secret is not None else None
+
+    class Handler(BaseHTTPRequestHandler):
+        # Bound every socket read/write so a stalled client can never
+        # wedge a handler thread.
+        timeout = 30.0
+
+        def log_message(self, fmt, *args):  # quiet: status polls are chatty
+            pass
+
+        def _reply(self, code: int, payload: Dict[str, object]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            try:
+                self.send_response(code)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except OSError:
+                pass  # client went away mid-reply; nothing to salvage
+
+        def _authorized(self, body: bytes) -> bool:
+            if verifier is None:
+                return True
+            if verifier.verify(self.command, self.path, self.headers, body):
+                return True
+            self._reply(401, {"error": "unauthorized"})
+            return False
+
+        def _read_body(self) -> Optional[bytes]:
+            """The request body, or None after an error reply."""
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._reply(400, {"error": "invalid Content-Length"})
+                return None
+            if length < 0:
+                self._reply(400, {"error": "invalid Content-Length"})
+                return None
+            if length > max_body_bytes:
+                # Refuse before reading: answering is cheap, buffering
+                # an attacker-chosen number of bytes is not.
+                self._reply(
+                    413,
+                    {"error": f"request body exceeds {max_body_bytes} bytes"},
+                )
+                self.close_connection = True
+                return None
+            try:
+                return self.rfile.read(length)
+            except (OSError, socket.timeout):
+                self.close_connection = True
+                return None
+
+        def do_GET(self):
+            try:
+                if not self._authorized(b""):
+                    return
+                if self.path == "/api/status":
+                    self._reply(200, coordinator.status())
+                elif self.path == "/api/fetch":
+                    data = coordinator.fetch_bytes()
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "application/octet-stream"
+                    )
+                    self.send_header("Content-Length", str(len(data)))
+                    self.end_headers()
+                    self.wfile.write(data)
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path}"})
+            except FabricError as exc:
+                self._reply(409, {"error": str(exc)})
+            except OSError:
+                self.close_connection = True
+            except Exception as exc:  # never kill the server thread
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def do_POST(self):
+            try:
+                raw = self._read_body()
+                if raw is None:
+                    return
+                if not self._authorized(raw):
+                    return
+                try:
+                    body = json.loads(raw or b"{}")
+                except json.JSONDecodeError as exc:
+                    self._reply(
+                        400, {"error": f"malformed JSON body: {exc}"}
+                    )
+                    return
+                if not isinstance(body, dict):
+                    self._reply(
+                        400, {"error": "request body must be a JSON object"}
+                    )
+                    return
+                if self.path == "/api/submit":
+                    self._reply(200, coordinator.submit(body["spec"]))
+                elif self.path == "/api/request":
+                    self._reply(200, coordinator.request(body["worker"]))
+                elif self.path == "/api/heartbeat":
+                    ok = coordinator.heartbeat(
+                        body["worker"], body["shard"], body["token"]
+                    )
+                    self._reply(200, {"ok": ok})
+                elif self.path == "/api/upload":
+                    try:
+                        data = base64.b64decode(
+                            body["data"], validate=True
+                        )
+                    except (binascii.Error, TypeError) as exc:
+                        self._reply(
+                            400, {"error": f"malformed base64 data: {exc}"}
+                        )
+                        return
+                    self._reply(
+                        200,
+                        coordinator.upload(
+                            body["worker"],
+                            body["shard"],
+                            body.get("token"),
+                            data,
+                            body["crc"],
+                        ),
+                    )
+                elif self.path == "/api/release":
+                    self._reply(
+                        200,
+                        coordinator.release(
+                            body["worker"],
+                            body["shard"],
+                            body.get("token"),
+                            body.get("outcome", "failed"),
+                            body.get("reason", ""),
+                        ),
+                    )
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path}"})
+            except FabricError as exc:
+                self._reply(409, {"error": str(exc)})
+            except (KeyError, TypeError, ValueError) as exc:
+                # A missing field or wrong type is the *client's* fault:
+                # one line, 400, no traceback.
+                self._reply(400, {"error": f"{type(exc).__name__}: {exc}"})
+            except OSError:
+                self.close_connection = True
+            except Exception as exc:
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    return ThreadingHTTPServer((host, port), Handler)

@@ -26,10 +26,12 @@ every layer (core, bugs, exec, fuzz) can depend on it without cycles.
 
 from __future__ import annotations
 
+import math as _math
 import random as _random
+import time as _time
 import traceback as _traceback
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 #: Maximum characters of traceback preserved in a failure record.
 TRACEBACK_LIMIT = 2000
@@ -60,8 +62,22 @@ def backoff_with_jitter(
     same instant too. ``rng`` pins the stream for tests; the default draws
     from the module-level PRNG, which is exactly the per-process
     decorrelation wanted in production.
+
+    Overflow-safe for any attempt count: the exponent is clamped to the
+    number of doublings that reaches ``max_s``, so ``attempt=10**9`` is
+    exactly the cap rather than a float overflow. Nonpositive ``base_s``
+    or ``max_s`` yields 0.0 (a delay is never negative).
     """
-    delay = min(max_s, base_s * (2 ** max(0, attempt - 1)))
+    if base_s <= 0.0 or max_s <= 0.0:
+        return 0.0
+    if base_s >= max_s:
+        delay = max_s
+    else:
+        # Doublings beyond this provably clear the cap; clamping keeps
+        # base_s * 2**exponent representable (ldexp never overflows here).
+        cap_exponent = int(_math.log2(max_s / base_s)) + 1
+        exponent = min(max(0, attempt - 1), cap_exponent)
+        delay = min(max_s, _math.ldexp(base_s, exponent))
     if jitter <= 0.0:
         return delay
     draw = (rng if rng is not None else _random).random()
@@ -246,6 +262,43 @@ def crash_failure(attempts: int, detail: str = "") -> TaskFailure:
     if detail:
         message += f" ({detail})"
     return TaskFailure(kind="worker-crash", attempts=attempts, message=message)
+
+
+class CircuitBreaker:
+    """A wall-clock outage budget around an unreliable dependency.
+
+    Callers report each successful contact with :meth:`success`; the
+    breaker :attr:`tripped` once the time since the last success exceeds
+    ``budget_s``. Unlike a consecutive-failure counter, a time budget is
+    indifferent to retry cadence: a worker hammering a dead coordinator
+    every 200ms and one backing off to 5s both trip at the same wall-clock
+    moment, which is what an operator reasons about ("give up after two
+    minutes offline"). ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Callable[[], float] = _time.monotonic,
+    ) -> None:
+        if budget_s <= 0:
+            raise ValueError(f"budget_s must be > 0, got {budget_s}")
+        self.budget_s = budget_s
+        self.clock = clock
+        self._last_success = clock()
+
+    def success(self) -> None:
+        """Record a successful contact, resetting the outage clock."""
+        self._last_success = self.clock()
+
+    @property
+    def outage_s(self) -> float:
+        """Seconds since the last successful contact."""
+        return max(0.0, self.clock() - self._last_success)
+
+    @property
+    def tripped(self) -> bool:
+        return self.outage_s > self.budget_s
 
 
 @dataclass

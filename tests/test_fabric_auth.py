@@ -1,0 +1,299 @@
+"""Authenticated fabric RPC: signing, replay protection, 401 end-to-end.
+
+Unit coverage for :mod:`repro.exec.fabric.auth` (secret loading, the
+canonical message, :class:`RequestVerifier` on a fake clock) plus the
+HTTP proof the issue demands: unauthenticated, wrong-secret and replayed
+requests answer a bare 401 *without mutating coordinator state*, while a
+correctly-secreted client works — and the secret itself appears in no
+status payload and no artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+import zlib
+
+import pytest
+
+from repro.exec.fabric import (
+    ENV_SECRET,
+    FabricCoordinator,
+    FabricRejected,
+    HttpTransport,
+    NONCE_HEADER,
+    RequestVerifier,
+    SIGNATURE_HEADER,
+    TIMESTAMP_HEADER,
+    canonical_message,
+    load_secret,
+    make_http_server,
+    sign_request,
+)
+
+from tests.test_fabric import SPEC, FakeClock  # noqa: F401
+
+SECRET = b"a-shared-fabric-secret"
+
+
+# -- secret loading ------------------------------------------------------------
+
+
+def test_load_secret_prefers_file_and_strips(tmp_path, monkeypatch):
+    path = tmp_path / "secret"
+    path.write_bytes(b"  from-file\n")
+    monkeypatch.setenv(ENV_SECRET, "from-env")
+    assert load_secret(str(path)) == b"from-file"
+
+
+def test_load_secret_falls_back_to_env(monkeypatch):
+    monkeypatch.setenv(ENV_SECRET, "from-env")
+    assert load_secret(None) == b"from-env"
+
+
+def test_load_secret_none_when_unconfigured(monkeypatch):
+    monkeypatch.delenv(ENV_SECRET, raising=False)
+    assert load_secret(None) is None
+
+
+def test_load_secret_empty_file_is_an_error(tmp_path):
+    path = tmp_path / "secret"
+    path.write_bytes(b"\n")
+    with pytest.raises(ValueError):
+        load_secret(str(path))
+
+
+# -- canonical message and signing ---------------------------------------------
+
+
+def test_canonical_message_binds_every_field():
+    base = canonical_message("POST", "/api/request", "1.0", "n1", b"body")
+    assert canonical_message("GET", "/api/request", "1.0", "n1", b"body") != base
+    assert canonical_message("POST", "/api/status", "1.0", "n1", b"body") != base
+    assert canonical_message("POST", "/api/request", "2.0", "n1", b"body") != base
+    assert canonical_message("POST", "/api/request", "1.0", "n2", b"body") != base
+    assert canonical_message("POST", "/api/request", "1.0", "n1", b"tampered") != base
+
+
+def _signed_headers(secret, method, path, timestamp, nonce, body):
+    return {
+        SIGNATURE_HEADER: sign_request(
+            secret, method, path, timestamp, nonce, body
+        ),
+        NONCE_HEADER: nonce,
+        TIMESTAMP_HEADER: timestamp,
+    }
+
+
+# -- verifier ------------------------------------------------------------------
+
+
+def test_verifier_roundtrip_and_replay():
+    clock = FakeClock()
+    clock.advance(1000.0)
+    verifier = RequestVerifier(SECRET, clock=clock)
+    headers = _signed_headers(
+        SECRET, "POST", "/api/request", "1000.0", "nonce-1", b"{}"
+    )
+    assert verifier.verify("POST", "/api/request", headers, b"{}")
+    # The byte-identical request again: a replay, refused.
+    assert not verifier.verify("POST", "/api/request", headers, b"{}")
+
+
+def test_verifier_rejects_missing_headers():
+    clock = FakeClock()
+    verifier = RequestVerifier(SECRET, clock=clock)
+    good = _signed_headers(SECRET, "GET", "/api/status", "0.0", "n", b"")
+    for omitted in (SIGNATURE_HEADER, NONCE_HEADER, TIMESTAMP_HEADER):
+        partial = {k: v for k, v in good.items() if k != omitted}
+        assert not verifier.verify("GET", "/api/status", partial, b"")
+
+
+def test_verifier_rejects_bad_timestamp_and_stale_window():
+    clock = FakeClock()
+    clock.advance(1000.0)
+    verifier = RequestVerifier(SECRET, window_s=120.0, clock=clock)
+    bad = _signed_headers(
+        SECRET, "GET", "/api/status", "not-a-float", "n1", b""
+    )
+    assert not verifier.verify("GET", "/api/status", bad, b"")
+    stale = _signed_headers(SECRET, "GET", "/api/status", "800.0", "n2", b"")
+    assert not verifier.verify("GET", "/api/status", stale, b"")
+    future = _signed_headers(SECRET, "GET", "/api/status", "1200.0", "n3", b"")
+    assert not verifier.verify("GET", "/api/status", future, b"")
+    fresh = _signed_headers(SECRET, "GET", "/api/status", "1100.0", "n4", b"")
+    assert verifier.verify("GET", "/api/status", fresh, b"")
+
+
+def test_verifier_rejects_wrong_secret_and_tampering():
+    clock = FakeClock()
+    verifier = RequestVerifier(SECRET, clock=clock)
+    forged = _signed_headers(
+        b"the-wrong-secret", "POST", "/api/request", "0.0", "n1", b"{}"
+    )
+    assert not verifier.verify("POST", "/api/request", forged, b"{}")
+    headers = _signed_headers(
+        SECRET, "POST", "/api/request", "0.0", "n2", b'{"worker": "w"}'
+    )
+    # Same signature, swapped body / path / method: all refused.
+    assert not verifier.verify(
+        "POST", "/api/request", headers, b'{"worker": "evil"}'
+    )
+    assert not verifier.verify(
+        "POST", "/api/release", headers, b'{"worker": "w"}'
+    )
+    assert not verifier.verify(
+        "GET", "/api/request", headers, b'{"worker": "w"}'
+    )
+
+
+def test_verifier_nonce_cache_prunes_by_window():
+    """A nonce string becomes reusable once the window has passed — safe,
+    because replaying the *original* bytes then fails the freshness check
+    — and the cache stays bounded instead of growing per request."""
+    clock = FakeClock()
+    verifier = RequestVerifier(SECRET, window_s=120.0, clock=clock)
+    first = _signed_headers(SECRET, "GET", "/api/status", "0.0", "n1", b"")
+    assert verifier.verify("GET", "/api/status", first, b"")
+    clock.advance(300.0)
+    assert not verifier.verify("GET", "/api/status", first, b"")  # stale
+    fresh = _signed_headers(SECRET, "GET", "/api/status", "300.0", "n1", b"")
+    assert verifier.verify("GET", "/api/status", fresh, b"")
+    assert len(verifier._seen_nonces) == 1  # n1@0.0 was pruned
+
+
+def test_verifier_rejects_degenerate_construction():
+    with pytest.raises(ValueError):
+        RequestVerifier(b"")
+    with pytest.raises(ValueError):
+        RequestVerifier(SECRET, window_s=0.0)
+
+
+def test_unsigned_nonces_cannot_poison_the_cache():
+    """An attacker spraying unsigned requests with guessed nonces must not
+    be able to pre-block a legitimate client's nonce."""
+    clock = FakeClock()
+    verifier = RequestVerifier(SECRET, clock=clock)
+    forged = _signed_headers(b"wrong", "GET", "/api/status", "0.0", "n1", b"")
+    assert not verifier.verify("GET", "/api/status", forged, b"")
+    genuine = _signed_headers(SECRET, "GET", "/api/status", "0.0", "n1", b"")
+    assert verifier.verify("GET", "/api/status", genuine, b"")
+
+
+# -- HTTP end-to-end -----------------------------------------------------------
+
+
+@pytest.fixture()
+def secured_server(tmp_path):
+    coordinator = FabricCoordinator(str(tmp_path / "state"))
+    server = make_http_server(coordinator, port=0, secret=SECRET)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield coordinator, f"http://{host}:{port}"
+    server.shutdown()
+    thread.join(timeout=5.0)
+
+
+def test_http_unauthenticated_gets_bare_401(secured_server):
+    coordinator, url = secured_server
+    # GET without headers.
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(url + "/api/status", timeout=10.0)
+    assert excinfo.value.code == 401
+    assert json.loads(excinfo.value.read()) == {"error": "unauthorized"}
+    # POST without headers: refused BEFORE the submit could mutate state.
+    body = json.dumps({"spec": SPEC.to_dict()}).encode("utf-8")
+    request = urllib.request.Request(url + "/api/submit", data=body)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10.0)
+    assert excinfo.value.code == 401
+    assert coordinator.spec is None  # nothing was installed
+
+
+def test_http_wrong_secret_gets_401_via_client(secured_server):
+    coordinator, url = secured_server
+    impostor = HttpTransport(url, timeout_s=10.0, secret=b"wrong-secret")
+    with pytest.raises(FabricRejected) as excinfo:
+        impostor.submit(SPEC.to_dict())
+    assert excinfo.value.code == 401
+    assert coordinator.spec is None
+
+
+def test_http_replayed_request_is_refused_without_state_change(
+    secured_server,
+):
+    coordinator, url = secured_server
+    authed = HttpTransport(url, timeout_s=10.0, secret=SECRET)
+    authed.submit(SPEC.to_dict())
+    # Hand-sign one request so the exact bytes can be sent twice.
+    path = "/api/request"
+    body = json.dumps({"worker": "w-replay"}).encode("utf-8")
+    headers = {
+        "Content-Type": "application/json",
+        **_signed_headers(
+            SECRET, "POST", path, f"{time.time():.3f}",
+            "fixed-nonce-0001", body,
+        ),
+    }
+    first = urllib.request.urlopen(
+        urllib.request.Request(url + path, data=body, headers=headers),
+        timeout=10.0,
+    )
+    lease = json.loads(first.read())["lease"]
+    assert lease is not None
+    grants = [s.grants for s in coordinator.shards]
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(
+            urllib.request.Request(url + path, data=body, headers=headers),
+            timeout=10.0,
+        )
+    assert excinfo.value.code == 401
+    assert json.loads(excinfo.value.read()) == {"error": "unauthorized"}
+    assert [s.grants for s in coordinator.shards] == grants
+    # The worker itself (fresh nonce) still converses normally.
+    authed.release(
+        "w-replay", lease["shard"], lease["token"], "drain", "test over"
+    )
+
+
+def test_secret_never_leaks_into_status_or_artifact(secured_server):
+    coordinator, url = secured_server
+    authed = HttpTransport(url, timeout_s=10.0, secret=SECRET)
+    authed.submit(SPEC.to_dict())
+    lease = authed.request("w1")["lease"]
+    # Upload a (bogus-CRC-safe) sealed record set via the coordinator to
+    # materialize an artifact, then scan every observable surface.
+    data = coordinator_fetchable_bytes(coordinator, authed, lease)
+    assert SECRET not in json.dumps(authed.status()).encode("utf-8")
+    assert SECRET not in data
+
+
+def coordinator_fetchable_bytes(coordinator, transport, lease):
+    """Push one real shard through the authenticated transport and fetch
+    the merged artifact back."""
+    from repro.exec.engine import run_engine
+    from repro.workloads import WORKLOADS
+
+    import tempfile
+
+    from tests.test_fabric import RUNS, SCALE, SEED
+
+    programs = {"bitcount": WORKLOADS["bitcount"](scale=SCALE)}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/shard.jsonl"
+        run_engine(
+            programs, RUNS, seed=SEED, checkpoint_path=path,
+            shard_keys=list(lease["keys"]),
+        )
+        with open(path, "rb") as handle:
+            data = handle.read()
+    transport.upload(
+        "w1", lease["shard"], lease["token"], data,
+        zlib.crc32(data) & 0xFFFFFFFF,
+    )
+    transport.release("w1", lease["shard"], lease["token"], "complete")
+    return transport.fetch()

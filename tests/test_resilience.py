@@ -427,3 +427,103 @@ def test_checkpoint_fsync_mode(tiny_suite, tiny_tasks, tmp_path):
     with open(path) as handle:
         records = [json.loads(line) for line in handle]
     assert [r["type"] for r in records] == ["manifest", "result"]
+
+
+# -- backoff properties (hypothesis) -------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.resilience import CircuitBreaker
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    attempt=st.integers(min_value=1, max_value=10**9),
+    base_s=st.floats(min_value=1e-3, max_value=100.0),
+    cap_factor=st.floats(min_value=1.0, max_value=1e6),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_backoff_always_within_bounds(attempt, base_s, cap_factor, jitter, seed):
+    """The delay is never negative and never exceeds the cap, for any
+    attempt count — including ones whose naive 2**attempt overflows."""
+    max_s = base_s * cap_factor
+    delay = backoff_with_jitter(
+        attempt, base_s, max_s, jitter=jitter, rng=random.Random(seed)
+    )
+    assert 0.0 <= delay <= max_s
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    attempt=st.integers(min_value=1, max_value=10**9),
+    base_s=st.floats(min_value=1e-3, max_value=100.0),
+    cap_factor=st.floats(min_value=1.0, max_value=1e6),
+)
+def test_backoff_unjittered_within_base_and_cap(attempt, base_s, cap_factor):
+    """Without jitter the delay lies in [base, cap] exactly: the first
+    attempt waits the base, deep attempts saturate at the cap."""
+    max_s = base_s * cap_factor
+    delay = backoff_with_jitter(attempt, base_s, max_s, jitter=0.0)
+    assert base_s <= delay <= max_s or delay == max_s  # base_s may exceed cap
+    assert backoff_with_jitter(1, base_s, max_s, jitter=0.0) == min(
+        base_s, max_s
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    base_s=st.floats(min_value=1e-3, max_value=10.0),
+    cap_factor=st.floats(min_value=1.0, max_value=1e3),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_backoff_huge_attempts_hit_the_cap_exactly(
+    base_s, cap_factor, jitter, seed
+):
+    """Astronomical attempt counts behave exactly like 'at the cap': no
+    overflow, and the jittered draw equals the cap's jittered draw."""
+    max_s = base_s * cap_factor
+    at_cap = backoff_with_jitter(
+        10**6, base_s, max_s, jitter=jitter, rng=random.Random(seed)
+    )
+    astronomical = backoff_with_jitter(
+        10**9, base_s, max_s, jitter=jitter, rng=random.Random(seed)
+    )
+    assert astronomical == at_cap
+    assert astronomical <= max_s
+
+
+def test_backoff_nonpositive_inputs_yield_zero():
+    assert backoff_with_jitter(3, 0.0, 5.0) == 0.0
+    assert backoff_with_jitter(3, 1.0, 0.0) == 0.0
+    assert backoff_with_jitter(3, -1.0, 5.0) == 0.0
+
+
+# -- circuit breaker -----------------------------------------------------------
+
+
+def test_circuit_breaker_trips_on_outage_not_cadence():
+    """The breaker measures wall-clock silence, not failure counts: any
+    number of failures inside the budget leaves it closed, and one
+    quiet second past the budget trips it regardless of retry cadence."""
+    now = [0.0]
+    breaker = CircuitBreaker(budget_s=10.0, clock=lambda: now[0])
+    assert not breaker.tripped and breaker.outage_s == 0.0
+    now[0] = 10.0  # exactly at budget: not yet tripped
+    assert not breaker.tripped
+    now[0] = 10.001
+    assert breaker.tripped
+    breaker.success()
+    assert not breaker.tripped and breaker.outage_s == 0.0
+    now[0] = 15.0
+    assert breaker.outage_s == pytest.approx(4.999)
+    assert not breaker.tripped
+
+
+def test_circuit_breaker_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        CircuitBreaker(budget_s=0.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(budget_s=-1.0)
